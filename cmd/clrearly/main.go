@@ -1,0 +1,204 @@
+// Command clrearly runs the CL(R)Early system-level DSE end to end on one
+// application and prints the resulting Pareto front with full QoS metrics.
+//
+// Usage:
+//
+//	clrearly [-app sobel|synthetic] [-tasks N] [-method proposed|fccLR|pfclr|agnostic]
+//	         [-pop N] [-gens N] [-seed N]
+//	         [-max-makespan US] [-min-frel F] [-min-mttf H] [-max-energy UJ] [-max-power W]
+//
+// The synthetic application uses the TGFF-style generator over ten task
+// types; sobel is the five-task edge-detection pipeline of the paper's
+// Fig. 2(b).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/characterize"
+	"repro/internal/core"
+	"repro/internal/gantt"
+	"repro/internal/platform"
+	"repro/internal/relmodel"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+	"repro/internal/tdse"
+	"repro/internal/tgff"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "clrearly:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("clrearly", flag.ContinueOnError)
+	app := fs.String("app", "sobel", "application: sobel, jpeg or synthetic")
+	graphFile := fs.String("graph-file", "", "load the application from a TGFF text file (overrides -app)")
+	tasks := fs.Int("tasks", 20, "task count for synthetic applications")
+	method := fs.String("method", "proposed", "DSE method: proposed, fcclr, pfclr or agnostic")
+	pop := fs.Int("pop", 60, "GA population size")
+	gens := fs.Int("gens", 40, "GA generations")
+	seed := fs.Int64("seed", 1, "random seed")
+	maxMakespan := fs.Float64("max-makespan", 0, "makespan constraint in µs (0 = none)")
+	minFRel := fs.Float64("min-frel", 0, "functional reliability constraint (0 = none)")
+	minMTTF := fs.Float64("min-mttf", 0, "MTTF constraint in hours (0 = none)")
+	maxEnergy := fs.Float64("max-energy", 0, "energy constraint in µJ (0 = none)")
+	maxPower := fs.Float64("max-power", 0, "peak power constraint in W (0 = none)")
+	catalog := fs.String("catalog", "default", "reliability method catalog: default or extended")
+	objectives := fs.String("objectives", "makespan,errprob",
+		"comma-separated system objectives: makespan, errprob, lifetime, energy, power (Eq. 5)")
+	commStartup := fs.Float64("comm-startup", 0, "interconnect transfer startup cost in µs (0 = comm-free model)")
+	commPerKB := fs.Float64("comm-per-kb", 0, "interconnect cost per KB in µs")
+	memory := fs.Bool("memory", false, "enforce per-PE local memory capacities")
+	ganttChart := fs.Bool("gantt", false, "render the most reliable mapping as a Gantt chart (proposed/fcclr only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := platform.Default()
+	cat := relmodel.DefaultCatalog()
+	switch strings.ToLower(*catalog) {
+	case "default":
+	case "extended":
+		cat = relmodel.ExtendedCatalog()
+	default:
+		return fmt.Errorf("unknown catalog %q", *catalog)
+	}
+	objs, err := parseObjectives(*objectives)
+	if err != nil {
+		return err
+	}
+	inst := &core.Instance{
+		Platform:      p,
+		Catalog:       cat,
+		Objectives:    objs,
+		Comm:          schedule.CommModel{StartupUS: *commStartup, PerKBUS: *commPerKB},
+		EnforceMemory: *memory,
+		Spec: schedule.Spec{
+			MaxMakespanUS:    *maxMakespan,
+			MinFunctionalRel: *minFRel,
+			MinMTTFHours:     *minMTTF,
+			MaxEnergyUJ:      *maxEnergy,
+			MaxPeakPowerW:    *maxPower,
+		},
+	}
+	switch {
+	case *graphFile != "":
+		f, err := os.Open(*graphFile)
+		if err != nil {
+			return err
+		}
+		g, err := tgff.ParseText(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", *graphFile, err)
+		}
+		inst.Graph = g
+		inst.Lib = characterize.Synthetic(p, characterize.DefaultSyntheticConfig(g.NumTypes()), *seed+500)
+	case strings.ToLower(*app) == "sobel":
+		inst.Graph = taskgraph.Sobel()
+		inst.Lib = characterize.Sobel(p)
+	case strings.ToLower(*app) == "jpeg":
+		inst.Graph = taskgraph.JPEG()
+		inst.Lib = characterize.JPEG(p)
+	case strings.ToLower(*app) == "synthetic":
+		inst.Graph = tgff.MustGenerate(tgff.DefaultConfig(*tasks), *seed)
+		inst.Lib = characterize.Synthetic(p, characterize.DefaultSyntheticConfig(10), *seed+500)
+	default:
+		return fmt.Errorf("unknown application %q", *app)
+	}
+
+	cfg := core.RunConfig{Pop: *pop, Gens: *gens, Seed: *seed}
+	var front *core.Front
+	switch strings.ToLower(*method) {
+	case "proposed":
+		flib, ferr := tdse.Build(inst.Lib, p, inst.Catalog, tdse.DefaultOptions(),
+			[]tdse.Objective{tdse.AvgExT, tdse.ErrProb})
+		if ferr != nil {
+			return ferr
+		}
+		fcLog, pfLog := core.SearchSpaceLog10(inst, flib)
+		fmt.Fprintf(w, "design space: fcCLR ≈ 10^%.0f points, pfCLR ≈ 10^%.0f points\n", fcLog, pfLog)
+		front, err = core.Proposed(inst, cfg, flib)
+	case "fcclr":
+		front, err = core.FcCLR(inst, cfg)
+	case "pfclr":
+		flib, ferr := tdse.Build(inst.Lib, p, inst.Catalog, tdse.DefaultOptions(),
+			[]tdse.Objective{tdse.AvgExT, tdse.ErrProb})
+		if ferr != nil {
+			return ferr
+		}
+		front, err = core.PfCLR(inst, cfg, flib)
+	case "agnostic":
+		front, _, err = core.Agnostic(inst, cfg)
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "%s DSE of %q (%d tasks, %d PEs): %d Pareto points, %d evaluations\n",
+		*method, inst.Graph.Name, inst.Graph.NumTasks(), p.NumPEs(), len(front.Points), front.Evaluations)
+	pts := append([]core.Point(nil), front.Points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].QoS.MakespanUS < pts[j].QoS.MakespanUS })
+	fmt.Fprintf(w, "%12s %12s %14s %12s %10s\n",
+		"makespan(us)", "err-prob(%)", "MTTF(hours)", "energy(uJ)", "power(W)")
+	for _, pt := range pts {
+		q := pt.QoS
+		fmt.Fprintf(w, "%12.1f %12.3f %14.3g %12.1f %10.2f\n",
+			q.MakespanUS, q.ErrProb*100, q.MTTFHours, q.EnergyUJ, q.PeakPowerW)
+	}
+
+	if *ganttChart {
+		m := strings.ToLower(*method)
+		if m != "proposed" && m != "fcclr" {
+			return fmt.Errorf("-gantt requires a full-configuration method (proposed or fcclr)")
+		}
+		best := front.Points[0]
+		for _, pt := range front.Points {
+			if pt.QoS.ErrProb < best.QoS.ErrProb {
+				best = pt
+			}
+		}
+		pes := core.DecodePEs(inst, best.Genome)
+		decisions := make([]schedule.TaskDecision, inst.Graph.NumTasks())
+		for t := range decisions {
+			decisions[t].PE = pes[t]
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, gantt.Chart(inst.Graph, p, decisions, best.QoS, 72))
+	}
+	return nil
+}
+
+var systemObjectiveNames = map[string]core.SystemObjective{
+	"makespan": core.Makespan,
+	"errprob":  core.AppErrProb,
+	"lifetime": core.Lifetime,
+	"energy":   core.Energy,
+	"power":    core.PeakPower,
+}
+
+func parseObjectives(s string) ([]core.SystemObjective, error) {
+	var out []core.SystemObjective
+	for _, name := range strings.Split(s, ",") {
+		o, ok := systemObjectiveNames[strings.TrimSpace(strings.ToLower(name))]
+		if !ok {
+			return nil, fmt.Errorf("unknown system objective %q", name)
+		}
+		out = append(out, o)
+	}
+	if len(out) < 2 {
+		return nil, fmt.Errorf("need at least two objectives, got %d", len(out))
+	}
+	return out, nil
+}

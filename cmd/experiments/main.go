@@ -1,0 +1,153 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section. Each experiment prints the same rows/series the paper
+// reports (front point lists for figures, aligned tables for TABLEs).
+//
+// Usage:
+//
+//	experiments [-run all|fig6a,fig6b,table4,fig7,table5,fig8,table6,fig9,fig10,table7,
+//	             ablation-seeding,ablation-operators,ablation-comm,ablation-engine,
+//	             ablation-heft,ext-scenario,ext-memory]
+//	            [-pop N] [-gens N] [-seed N] [-sizes 10,20,...] [-quick]
+//
+// -quick switches to a reduced GA budget and a short size sweep, useful for
+// smoke-testing the full pipeline in under a minute.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+type printable interface{ Print(io.Writer) }
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	runList := fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+	quick := fs.Bool("quick", false, "reduced budget smoke run")
+	pop := fs.Int("pop", 0, "GA population size (0 = default)")
+	gens := fs.Int("gens", 0, "GA generations (0 = default)")
+	seed := fs.Int64("seed", 0, "master seed (0 = default)")
+	sizes := fs.String("sizes", "", "comma-separated task counts for the table sweeps")
+	jsonPath := fs.String("json", "", "also write all results as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *pop > 0 {
+		cfg.Pop = *pop
+	}
+	if *gens > 0 {
+		cfg.Gens = *gens
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *sizes != "" {
+		parsed, err := parseSizes(*sizes)
+		if err != nil {
+			return err
+		}
+		cfg.Sizes = parsed
+	}
+
+	type experiment struct {
+		id  string
+		run func() (printable, error)
+	}
+	all := []experiment{
+		{"fig6a", func() (printable, error) { return cfg.Fig6a() }},
+		{"fig6b", func() (printable, error) { return cfg.Fig6b() }},
+		{"table4", func() (printable, error) { return cfg.Table4() }},
+		{"fig7", func() (printable, error) { return cfg.Fig7() }},
+		{"table5", func() (printable, error) { return cfg.Table5() }},
+		{"fig8", func() (printable, error) { return cfg.Fig8() }},
+		{"table6", func() (printable, error) { return cfg.Table6() }},
+		{"fig9", func() (printable, error) { return cfg.Fig9() }},
+		{"fig10", func() (printable, error) { return cfg.Fig10() }},
+		{"table7", func() (printable, error) { return cfg.Table7() }},
+		// Ablation studies beyond the paper's own evaluation (see DESIGN.md).
+		{"ablation-seeding", func() (printable, error) { return cfg.AblationSeeding() }},
+		{"ablation-operators", func() (printable, error) { return cfg.AblationOperators() }},
+		{"ablation-comm", func() (printable, error) { return cfg.AblationComm() }},
+		{"ablation-engine", func() (printable, error) { return cfg.AblationEngine() }},
+		{"ablation-heft", func() (printable, error) { return cfg.AblationHEFT() }},
+		{"ext-scenario", func() (printable, error) { return cfg.Scenario() }},
+		{"ext-memory", func() (printable, error) { return cfg.Memory() }},
+	}
+
+	want := map[string]bool{}
+	if *runList != "all" {
+		for _, id := range strings.Split(*runList, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		for id := range want {
+			known := false
+			for _, e := range all {
+				if e.id == id {
+					known = true
+				}
+			}
+			if !known {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+		}
+	}
+
+	collected := map[string]any{}
+	for _, e := range all {
+		if *runList != "all" && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		res, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Fprintf(w, "== %s (%.1fs) ==\n", e.id, time.Since(start).Seconds())
+		res.Print(w)
+		fmt.Fprintln(w)
+		collected[e.id] = res
+	}
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(collected, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encoding results: %w", err)
+		}
+		if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", *jsonPath, err)
+		}
+		fmt.Fprintf(w, "results written to %s\n", *jsonPath)
+	}
+	return nil
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

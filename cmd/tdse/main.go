@@ -1,0 +1,117 @@
+// Command tdse runs the task-level design space exploration of one task
+// type and prints the Pareto-filtered CLR-integrated implementations with
+// their TABLE II metrics.
+//
+// Usage:
+//
+//	tdse [-app sobel|synthetic] [-type N] [-seed N]
+//	     [-objectives avgext,errprob,mttf,energy,power,peaktemp,minext]
+//	     [-mask F] [-all]
+//
+// -all prints the full enumeration instead of only the Pareto front;
+// -mask overrides the implicit system-software masking (Fig. 6(b) style).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/characterize"
+	"repro/internal/platform"
+	"repro/internal/relmodel"
+	"repro/internal/tdse"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tdse:", err)
+		os.Exit(1)
+	}
+}
+
+var objectiveNames = map[string]tdse.Objective{
+	"avgext":   tdse.AvgExT,
+	"errprob":  tdse.ErrProb,
+	"mttf":     tdse.MTTF,
+	"energy":   tdse.Energy,
+	"power":    tdse.Power,
+	"peaktemp": tdse.PeakTemp,
+	"minext":   tdse.MinExT,
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("tdse", flag.ContinueOnError)
+	app := fs.String("app", "sobel", "characterization: sobel or synthetic")
+	taskType := fs.Int("type", 0, "task type index to explore")
+	seed := fs.Int64("seed", 1, "seed for synthetic characterizations")
+	objs := fs.String("objectives", "avgext,errprob", "comma-separated objective list")
+	mask := fs.Float64("mask", -1, "implicit masking override in [0,1) (negative = keep)")
+	all := fs.Bool("all", false, "print the full enumeration, not just the front")
+	catalogName := fs.String("catalog", "default", "reliability method catalog: default or extended")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := platform.Default()
+	var lib *characterize.Library
+	switch strings.ToLower(*app) {
+	case "sobel":
+		lib = characterize.Sobel(p)
+	case "synthetic":
+		lib = characterize.Synthetic(p, characterize.DefaultSyntheticConfig(10), *seed)
+	default:
+		return fmt.Errorf("unknown characterization %q", *app)
+	}
+	if *taskType < 0 || *taskType >= lib.NumTypes() {
+		return fmt.Errorf("task type %d outside [0,%d)", *taskType, lib.NumTypes())
+	}
+
+	var objectives []tdse.Objective
+	for _, name := range strings.Split(*objs, ",") {
+		o, ok := objectiveNames[strings.TrimSpace(strings.ToLower(name))]
+		if !ok {
+			return fmt.Errorf("unknown objective %q", name)
+		}
+		objectives = append(objectives, o)
+	}
+
+	opt := tdse.DefaultOptions()
+	opt.ImplicitMaskingOverride = *mask
+	var cat *relmodel.Catalog
+	switch strings.ToLower(*catalogName) {
+	case "default":
+		cat = relmodel.DefaultCatalog()
+	case "extended":
+		cat = relmodel.ExtendedCatalog()
+	default:
+		return fmt.Errorf("unknown catalog %q", *catalogName)
+	}
+	cands, err := tdse.Enumerate(lib, *taskType, p, cat, opt)
+	if err != nil {
+		return err
+	}
+	front := tdse.Filter(cands, objectives)
+	show := front
+	if *all {
+		show = cands
+	}
+	fmt.Fprintf(w, "task type %d: %d candidates enumerated, %d on the Pareto front (objectives: %s)\n",
+		*taskType, len(cands), len(front), *objs)
+	fmt.Fprintf(w, "%-28s %-22s %10s %10s %9s %12s %8s %7s\n",
+		"implementation", "CLR config", "minExT(us)", "avgExT(us)", "errP(%)", "MTTF(h)", "W(W)", "T(C)")
+	for _, c := range show {
+		pt := p.Types()[c.Base.PETypeIndex]
+		cfgStr := fmt.Sprintf("%s/%s/%s/%s",
+			pt.Modes[c.Assignment.Mode].Name,
+			cat.HW[c.Assignment.HW].Name,
+			cat.SSW[c.Assignment.SSW].Name,
+			cat.ASW[c.Assignment.ASW].Name)
+		m := c.Metrics
+		fmt.Fprintf(w, "%-28s %-22s %10.1f %10.1f %9.3f %12.4g %8.2f %7.1f\n",
+			c.Base.Name, cfgStr, m.MinExTimeUS, m.AvgExTimeUS, m.ErrProb*100, m.MTTFHours, m.PowerW, m.TempC)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "768 candidates enumerated") {
+		t.Fatalf("expected full enumeration count, got:\n%s", out)
+	}
+	if !strings.Contains(out, "GScale") {
+		t.Fatal("expected Sobel type-0 implementations in output")
+	}
+}
+
+func TestRunObjectives(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-objectives", "avgext,errprob,mttf", "-type", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SobGrad") {
+		t.Fatal("expected SobGrad implementations")
+	}
+}
+
+func TestRunSynthetic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-app", "synthetic", "-type", "3", "-seed", "9"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SYN_3") {
+		t.Fatal("expected synthetic type name")
+	}
+}
+
+func TestRunMaskOverride(t *testing.T) {
+	var with, without bytes.Buffer
+	if err := run([]string{"-mask", "0.2"}, &with); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(nil, &without); err != nil {
+		t.Fatal(err)
+	}
+	if with.String() == without.String() {
+		t.Fatal("masking override had no effect")
+	}
+}
+
+func TestRunAllFlag(t *testing.T) {
+	var all, front bytes.Buffer
+	if err := run([]string{"-all"}, &all); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(nil, &front); err != nil {
+		t.Fatal(err)
+	}
+	if len(all.String()) <= len(front.String()) {
+		t.Fatal("-all should print more rows than the front only")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-app", "nonsense"}, &buf); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run([]string{"-type", "99"}, &buf); err == nil {
+		t.Error("out-of-range type accepted")
+	}
+	if err := run([]string{"-objectives", "bogus"}, &buf); err == nil {
+		t.Error("unknown objective accepted")
+	}
+}
+
+func TestRunExtendedCatalog(t *testing.T) {
+	var def, ext bytes.Buffer
+	if err := run(nil, &def); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-catalog", "extended"}, &ext); err != nil {
+		t.Fatal(err)
+	}
+	// The extended catalog enumerates more candidates.
+	if !strings.Contains(ext.String(), "3024 candidates enumerated") {
+		t.Fatalf("extended enumeration count wrong:\n%s", ext.String()[:200])
+	}
+	if err := run([]string{"-catalog", "bogus"}, &ext); err == nil {
+		t.Fatal("unknown catalog accepted")
+	}
+}

@@ -1,0 +1,77 @@
+// Command tgffgen generates a synthetic task graph (the offline substitute
+// for the TGFF tool, §VI.A) and prints it in a TGFF-like text form or as
+// Graphviz DOT.
+//
+// Usage:
+//
+//	tgffgen [-tasks N] [-types N] [-width N] [-indeg N] [-seed N] [-format text|dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/taskgraph"
+	"repro/internal/tgff"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tgffgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("tgffgen", flag.ContinueOnError)
+	tasks := fs.Int("tasks", 20, "number of tasks")
+	types := fs.Int("types", 10, "number of task types")
+	width := fs.Int("width", 0, "average layer width (0 = auto)")
+	indeg := fs.Int("indeg", 3, "maximum in-degree")
+	seed := fs.Int64("seed", 1, "random seed")
+	format := fs.String("format", "text", "output format: text or dot")
+	stats := fs.Bool("stats", false, "print structural statistics instead of the graph")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := tgff.DefaultConfig(*tasks)
+	cfg.NumTypes = *types
+	cfg.MaxInDegree = *indeg
+	if *width > 0 {
+		cfg.AvgLayerWidth = *width
+	}
+	g, err := tgff.Generate(cfg, *seed)
+	if err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Fprintf(w, "graph %s: %d tasks, %d edges, %d types\n",
+			g.Name, g.NumTasks(), len(g.Edges()), g.NumTypes())
+		fmt.Fprintf(w, "depth %d, max width %d, level widths %v\n",
+			g.Depth(), g.MaxWidth(), g.LevelWidths())
+		return nil
+	}
+	switch *format {
+	case "text":
+		return tgff.WriteText(w, g)
+	case "dot":
+		printDot(w, g)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	return nil
+}
+
+func printDot(w io.Writer, g *taskgraph.Graph) {
+	fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n", g.Name)
+	for _, t := range g.Tasks() {
+		fmt.Fprintf(w, "  t%d [label=\"%s\\ntype %d\"];\n", t.ID, t.Name, t.Type)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(w, "  t%d -> t%d;\n", e.From, e.To)
+	}
+	fmt.Fprintln(w, "}")
+}

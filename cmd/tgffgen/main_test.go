@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-tasks", "6", "-seed", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "@TASK_GRAPH") || !strings.Contains(out, "PERIOD") {
+		t.Fatalf("unexpected text output:\n%s", out)
+	}
+	if strings.Count(out, "TASK ") != 6 {
+		t.Fatalf("want 6 TASK lines, got %d", strings.Count(out, "TASK "))
+	}
+}
+
+func TestRunDotFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-tasks", "5", "-format", "dot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph") || !strings.Contains(out, "->") {
+		t.Fatalf("unexpected dot output:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-format", "yaml"}, &buf); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-tasks", "0"}, &buf); err == nil {
+		t.Fatal("zero tasks accepted")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-tasks", "10", "-seed", "5"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-tasks", "10", "-seed", "5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different graphs")
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-tasks", "12", "-stats"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "12 tasks") || !strings.Contains(out, "depth") {
+		t.Fatalf("stats output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,159 @@
+// Command validate cross-checks every analytical early-stage estimator
+// against simulation: the Markov reliability chains against Monte-Carlo
+// fault injection (task level), the TABLE III estimators against
+// event-driven application simulation, Eq. 2's lifetime model against
+// Weibull damage-accumulation sampling, and the steady-state thermal bound
+// against the transient RC trace. Exit status is non-zero if any check
+// fails its tolerance.
+//
+// Usage:
+//
+//	validate [-trials N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/faultsim"
+	"repro/internal/platform"
+	"repro/internal/relmodel"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+	"repro/internal/thermal"
+)
+
+func main() {
+	ok, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
+	if !ok {
+		os.Exit(2)
+	}
+}
+
+func run(args []string, w io.Writer) (bool, error) {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	trials := fs.Int("trials", 40000, "simulation trials per check")
+	seed := fs.Int64("seed", 42, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+
+	allOK := true
+	check := func(name string, rel float64, tol float64) {
+		status := "PASS"
+		if math.Abs(rel) > tol || math.IsNaN(rel) {
+			status = "FAIL"
+			allOK = false
+		}
+		fmt.Fprintf(w, "  [%s] %-46s relative error %+.3f%% (tolerance ±%.1f%%)\n",
+			status, name, rel*100, tol*100)
+	}
+	// Rare-event estimates compare against the sampling noise, not a fixed
+	// relative tolerance: the check passes within 5 standard errors.
+	checkSigma := func(name string, sim, ana, stderr float64) {
+		status := "PASS"
+		if math.Abs(sim-ana) > 5*stderr+1e-12 {
+			status = "FAIL"
+			allOK = false
+		}
+		fmt.Fprintf(w, "  [%s] %-46s simulated %.5g vs analytic %.5g (5σ = %.2g)\n",
+			status, name, sim, ana, 5*stderr)
+	}
+
+	fmt.Fprintln(w, "Task-level: Markov chains vs fault injection")
+	params := relmodel.ChainParams{
+		ExecTimeUS: 1000, LambdaPerUS: 2e-4, Checkpoints: 2,
+		DetTimeUS: 25, TolTimeUS: 20, ChkTimeUS: 30,
+		MHW: 0.4, MImplSSW: 0.05, CovDet: 0.92, MTol: 0.98, MASW: 0.6,
+		ModelCheckpointErrors: true,
+	}
+	ana, err := relmodel.AnalyzeChains(params)
+	if err != nil {
+		return false, err
+	}
+	sim, err := faultsim.SimulateTask(params, *trials, *seed)
+	if err != nil {
+		return false, err
+	}
+	check("average execution time", (sim.MeanTimeUS-ana.AvgExTimeUS)/ana.AvgExTimeUS, 0.01)
+	checkSigma("error probability", sim.ErrProb, ana.ErrProb, sim.ErrProbStdErr)
+
+	fmt.Fprintln(w, "System-level: TABLE III estimators vs event simulation (Sobel)")
+	g := taskgraph.Sobel()
+	p := platform.Default()
+	asg := make([]faultsim.TaskAssignment, g.NumTasks())
+	decisions := make([]schedule.TaskDecision, g.NumTasks())
+	for t := range asg {
+		asg[t] = faultsim.TaskAssignment{PE: t % 3, Params: params}
+		decisions[t] = schedule.TaskDecision{
+			PE: t % 3,
+			Metrics: relmodel.Metrics{
+				AvgExTimeUS: ana.AvgExTimeUS, MinExTimeUS: ana.MinExTimeUS,
+				ErrProb: ana.ErrProb, PowerW: 1, MTTFHours: 1e5,
+			},
+		}
+	}
+	prio := g.TopoOrder()
+	qos, err := schedule.Run(g, p, prio, decisions)
+	if err != nil {
+		return false, err
+	}
+	appSim, err := faultsim.SimulateApp(g, p.NumPEs(), prio, asg, *trials/2, *seed+1)
+	if err != nil {
+		return false, err
+	}
+	check("average makespan", (appSim.MeanMakespanUS-qos.MakespanUS)/qos.MakespanUS, 0.05)
+	check("functional reliability", (appSim.FunctionalRel-qos.FunctionalRel)/qos.FunctionalRel, 0.01)
+
+	fmt.Fprintln(w, "Lifetime: Eq. 2 vs Weibull damage-accumulation sampling")
+	stress := faultsim.PEStress{
+		PeriodUS: g.PeriodUS,
+		Beta:     p.Types()[0].WeibullBeta,
+		Entries: []faultsim.StressEntry{
+			{ExTimeUS: 1500, EtaHours: 8e4},
+			{ExTimeUS: 800, EtaHours: 6e4},
+		},
+	}
+	anaMTTF, err := faultsim.AnalyticMTTFHours(stress)
+	if err != nil {
+		return false, err
+	}
+	life, err := faultsim.SimulateLifetime(stress, *trials, *seed+2)
+	if err != nil {
+		return false, err
+	}
+	check("system MTTF", (life.MeanHours-anaMTTF)/anaMTTF, 0.02)
+
+	fmt.Fprintln(w, "Thermal: transient RC trace vs steady-state bound")
+	trace, err := thermal.Simulate(g, p, decisions, qos, 5, 50)
+	if err != nil {
+		return false, err
+	}
+	violations := 0
+	for pe := range trace.PeakC {
+		if trace.PeakC[pe] > trace.SteadyPeakC[pe]+1e-9 {
+			violations++
+		}
+	}
+	status := "PASS"
+	if violations > 0 {
+		status = "FAIL"
+		allOK = false
+	}
+	fmt.Fprintf(w, "  [%s] %-46s transient peaks within steady bounds on all %d PEs\n",
+		status, "peak temperature bound", p.NumPEs())
+
+	if allOK {
+		fmt.Fprintln(w, "all checks passed")
+	} else {
+		fmt.Fprintln(w, "CHECKS FAILED")
+	}
+	return allOK, nil
+}

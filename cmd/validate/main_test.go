@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAllChecksPass(t *testing.T) {
+	var buf bytes.Buffer
+	ok, err := run([]string{"-trials", "20000"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !ok {
+		t.Fatalf("validation failed:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") || !strings.Contains(out, "all checks passed") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	for _, section := range []string{"Task-level", "System-level", "Lifetime", "Thermal"} {
+		if !strings.Contains(out, section) {
+			t.Fatalf("missing section %q", section)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if _, err := run([]string{"-trials", "5000", "-seed", "7"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run([]string{"-trials", "5000", "-seed", "7"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("validation output not deterministic for equal seeds")
+	}
+}

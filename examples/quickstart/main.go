@@ -1,0 +1,71 @@
+// Quickstart: run the CL(R)Early proposed DSE methodology end to end on the
+// Sobel edge-detection application and print the resulting Pareto front.
+//
+//	go run ./examples/quickstart
+//
+// Steps: build the platform and application models, characterize the task
+// implementations, run the task-level DSE to Pareto-filter CLR-integrated
+// implementations, then run the two-stage system-level optimization
+// (pfCLR → seeded fcCLR).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/characterize"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/relmodel"
+	"repro/internal/taskgraph"
+	"repro/internal/tdse"
+)
+
+func main() {
+	// 1. The architecture model: 6 PEs of 3 types (§VI.A).
+	plat := platform.Default()
+
+	// 2. The application model: Sobel edge detection, Fig. 2(b).
+	app := taskgraph.Sobel()
+
+	// 3. Task implementations (the Gem5/McPAT-style characterization) and
+	//    the reliability method catalog of TABLE II.
+	lib := characterize.Sobel(plat)
+	catalog := relmodel.DefaultCatalog()
+
+	inst := &core.Instance{
+		Graph:      app,
+		Platform:   plat,
+		Lib:        lib,
+		Catalog:    catalog,
+		Objectives: core.DefaultObjectives(), // minimize makespan + error probability
+	}
+
+	// 4. Task-level DSE: Pareto-filter each task type's CLR-integrated
+	//    implementations (tDSE).
+	flib, err := tdse.Build(lib, plat, catalog, tdse.DefaultOptions(),
+		[]tdse.Objective{tdse.AvgExT, tdse.ErrProb})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for tt, n := range flib.Counts() {
+		fmt.Printf("task type %d: %d Pareto implementations\n", tt, n)
+	}
+
+	// 5. System-level DSE with the proposed two-stage methodology.
+	front, err := core.Proposed(inst, core.DefaultRunConfig(42), flib)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nproposed DSE found %d Pareto-optimal task mappings (%d evaluations):\n",
+		len(front.Points), front.Evaluations)
+	pts := front.Points
+	sort.Slice(pts, func(i, j int) bool { return pts[i].QoS.MakespanUS < pts[j].QoS.MakespanUS })
+	fmt.Printf("%14s %14s %14s\n", "makespan (µs)", "err prob (%)", "MTTF (hours)")
+	for _, p := range pts {
+		fmt.Printf("%14.1f %14.4f %14.3g\n",
+			p.QoS.MakespanUS, p.QoS.ErrProb*100, p.QoS.MTTFHours)
+	}
+}

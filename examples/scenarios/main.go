@@ -1,0 +1,58 @@
+// Scenarios example: early-stage exploration across operating conditions —
+// the varying-fault-rate setting that motivates cross-layer reliability in
+// the paper's introduction (e.g. strongly elevated soft-error rates at high
+// altitude). The example runs the proposed DSE once per environment and
+// compares a static worst-case design against an adaptive runtime policy
+// that switches mappings with the environment, at equal reliability.
+//
+//	go run ./examples/scenarios
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/characterize"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/relmodel"
+	"repro/internal/scenario"
+	"repro/internal/tdse"
+	"repro/internal/tgff"
+)
+
+func main() {
+	plat := platform.Default()
+	inst := &core.Instance{
+		Graph:      tgff.MustGenerate(tgff.DefaultConfig(15), 11),
+		Platform:   plat,
+		Lib:        characterize.Synthetic(plat, characterize.DefaultSyntheticConfig(10), 12),
+		Catalog:    relmodel.DefaultCatalog(),
+		Objectives: core.DefaultObjectives(),
+	}
+	set := scenario.DefaultSet()
+	fmt.Println("Mission profile:")
+	for _, sc := range set {
+		fmt.Printf("  %-15s fault-rate ×%-3.0f %5.0f%% of mission time\n",
+			sc.Name, sc.FaultRateFactor, sc.Weight*100)
+	}
+
+	res, err := scenario.Study(inst, core.RunConfig{Pop: 48, Gens: 30, Seed: 21},
+		[]tdse.Objective{tdse.AvgExT, tdse.ErrProb}, set)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nReliability target (static worst-case design): error ≤ %.4f%%\n",
+		res.ReliabilityTarget*100)
+	fmt.Printf("%-15s %22s %22s\n", "scenario", "static mk(µs)/err(%)", "adaptive mk(µs)/err(%)")
+	for i := range set {
+		s, a := res.Static.PerScenario[i], res.Adaptive.PerScenario[i]
+		fmt.Printf("%-15s %12.0f / %6.4f %12.0f / %6.4f\n",
+			set[i].Name, s.MakespanUS, s.ErrProb*100, a.MakespanUS, a.ErrProb*100)
+	}
+	fmt.Printf("\nexpected makespan: static %.0f µs, adaptive %.0f µs (%.1f%% faster)\n",
+		res.Static.ExpMakespanUS, res.Adaptive.ExpMakespanUS, res.SpeedupPct())
+	fmt.Printf("expected error:    static %.4f%%, adaptive %.4f%%\n",
+		res.Static.ExpErrProb*100, res.Adaptive.ExpErrProb*100)
+}

@@ -1,0 +1,112 @@
+// Sobel example: the full study of the paper's real-life application —
+// task-level analysis of every task type (TABLE IV style), then a
+// comparison of all four system-level DSE strategies on the Sobel pipeline
+// under a makespan QoS constraint.
+//
+//	go run ./examples/sobel
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/characterize"
+	"repro/internal/core"
+	"repro/internal/pareto"
+	"repro/internal/platform"
+	"repro/internal/relmodel"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+	"repro/internal/tdse"
+)
+
+func main() {
+	plat := platform.Default()
+	app := taskgraph.Sobel()
+	lib := characterize.Sobel(plat)
+	catalog := relmodel.DefaultCatalog()
+
+	// Task-level analysis: how many Pareto implementations does each task
+	// type have under progressively richer objective sets?
+	fmt.Println("Task-level DSE (number of Pareto implementations per objective set):")
+	names := []string{"GScale", "GSmth", "SobGrad", "CombThr"}
+	fmt.Printf("%-12s", "objectives")
+	for _, n := range names {
+		fmt.Printf("%9s", n)
+	}
+	fmt.Println()
+	for i, objs := range tdse.ObjectiveSets() {
+		fmt.Printf("%-12s", fmt.Sprintf("set %d", i+1))
+		for tt := range names {
+			front, err := tdse.Explore(lib, tt, plat, catalog, tdse.DefaultOptions(), objs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%9d", len(front))
+		}
+		fmt.Println()
+	}
+
+	// System-level DSE under a QoS constraint: makespan within 2.5 ms.
+	inst := &core.Instance{
+		Graph:      app,
+		Platform:   plat,
+		Lib:        lib,
+		Catalog:    catalog,
+		Objectives: core.DefaultObjectives(),
+		Spec:       schedule.Spec{MaxMakespanUS: 2500},
+	}
+	flib, err := tdse.Build(lib, plat, catalog, tdse.DefaultOptions(),
+		[]tdse.Objective{tdse.AvgExT, tdse.ErrProb})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := core.RunConfig{Pop: 60, Gens: 40, Seed: 7}
+	fronts := map[string]*core.Front{}
+	if fronts["fcCLR"], err = core.FcCLR(inst, cfg); err != nil {
+		log.Fatal(err)
+	}
+	if fronts["pfCLR"], err = core.PfCLR(inst, cfg, flib); err != nil {
+		log.Fatal(err)
+	}
+	if fronts["proposed"], err = core.Proposed(inst, cfg, flib); err != nil {
+		log.Fatal(err)
+	}
+	if fronts["agnostic"], _, err = core.Agnostic(inst, cfg); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nSystem-level DSE (makespan ≤ 2.5 ms):")
+	order := []string{"agnostic", "fcCLR", "pfCLR", "proposed"}
+	ref := pareto.ReferencePoint(0.1,
+		fronts["agnostic"].ObjectiveMatrix(), fronts["fcCLR"].ObjectiveMatrix(),
+		fronts["pfCLR"].ObjectiveMatrix(), fronts["proposed"].ObjectiveMatrix())
+	fmt.Printf("%-10s %8s %14s %14s %14s\n", "method", "#points", "best mk (µs)", "best errP (%)", "hypervolume")
+	for _, m := range order {
+		f := fronts[m]
+		bestMk, bestErr := math.Inf(1), math.Inf(1)
+		for _, p := range f.Points {
+			bestMk = math.Min(bestMk, p.QoS.MakespanUS)
+			bestErr = math.Min(bestErr, p.QoS.ErrProb)
+		}
+		hv := pareto.Hypervolume(f.ObjectiveMatrix(), ref)
+		fmt.Printf("%-10s %8d %14.1f %14.4f %14.4g\n", m, len(f.Points), bestMk, bestErr*100, hv)
+	}
+
+	// Show the best mapping by error probability in detail.
+	best := fronts["proposed"].Points[0]
+	for _, p := range fronts["proposed"].Points {
+		if p.QoS.ErrProb < best.QoS.ErrProb {
+			best = p
+		}
+	}
+	fmt.Println("\nMost reliable proposed mapping:")
+	fmt.Printf("  makespan %.1f µs, error probability %.4f%%, MTTF %.3g h, peak power %.2f W\n",
+		best.QoS.MakespanUS, best.QoS.ErrProb*100, best.QoS.MTTFHours, best.QoS.PeakPowerW)
+	for t := 0; t < app.NumTasks(); t++ {
+		fmt.Printf("  %-10s starts %7.1f µs on PE schedule slot, ends %7.1f µs\n",
+			app.Task(t).Name, best.QoS.StartUS[t], best.QoS.EndUS[t])
+	}
+}

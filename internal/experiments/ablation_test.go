@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationSeedingShape(t *testing.T) {
+	r, err := Quick().AblationSeeding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("want 4 strategies, got %d", len(r.Rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, row := range r.Rows {
+		byName[row.Strategy] = row
+	}
+	// The proposed seeded flow must beat random search with the same
+	// budget, and at least match its own pfCLR stage.
+	if byName["proposed (seeded)"].Hypervolume <= byName["random-search"].Hypervolume {
+		t.Fatalf("proposed (%v) not above random search (%v)",
+			byName["proposed (seeded)"].Hypervolume, byName["random-search"].Hypervolume)
+	}
+	if byName["proposed (seeded)"].Hypervolume < byName["pfCLR"].Hypervolume-1e-9 {
+		t.Fatal("proposed below its own pfCLR stage")
+	}
+	if byName["random-search"].Evaluations != byName["proposed (seeded)"].Evaluations {
+		t.Fatal("random search budget not matched to the proposed flow")
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "random-search") {
+		t.Fatal("Print missing rows")
+	}
+}
+
+func TestAblationOperatorsShape(t *testing.T) {
+	r, err := Quick().AblationOperators()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("want 4 variants, got %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Hypervolume <= 0 {
+			t.Fatalf("variant %q produced empty front", row.Strategy)
+		}
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "no order crossover") {
+		t.Fatal("Print missing variants")
+	}
+}
+
+func TestAblationCommShape(t *testing.T) {
+	r, err := Quick().AblationComm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.NoComm.Points) == 0 || len(r.WithComm.Points) == 0 {
+		t.Fatal("empty fronts")
+	}
+	// The comm-aware DSE should co-locate communicating tasks at least as
+	// much as the comm-oblivious one.
+	if r.LocalityWithComm < r.LocalityNoComm-0.05 {
+		t.Fatalf("comm-aware locality %.2f below comm-free %.2f",
+			r.LocalityWithComm, r.LocalityNoComm)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "edge locality") {
+		t.Fatal("Print missing locality line")
+	}
+}
+
+func TestAblationEngineShape(t *testing.T) {
+	r, err := Quick().AblationEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("want 2 engines, got %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Hypervolume <= 0 {
+			t.Fatalf("engine %q produced empty front", row.Strategy)
+		}
+	}
+	// Neither engine collapses relative to the other.
+	a, b := r.Rows[0].Hypervolume, r.Rows[1].Hypervolume
+	if a < 0.5*b || b < 0.5*a {
+		t.Fatalf("engines diverge badly: %v vs %v", a, b)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "MOEA/D") {
+		t.Fatal("Print missing engine names")
+	}
+}
+
+func TestAblationHEFTShape(t *testing.T) {
+	r, err := Quick().AblationHEFT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(r.Rows))
+	}
+	if r.HEFTMakespanUS <= 0 {
+		t.Fatal("missing HEFT makespan")
+	}
+	// Seeding with a strong constructive solution must not hurt at equal
+	// budget (small tolerance for archive-shape noise).
+	plain, seeded := r.Rows[0].Hypervolume, r.Rows[1].Hypervolume
+	if seeded < 0.95*plain {
+		t.Fatalf("HEFT seeding degraded the front: %v vs %v", seeded, plain)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "HEFT") {
+		t.Fatal("Print missing header")
+	}
+}
+
+func TestScenarioExperiment(t *testing.T) {
+	r, err := Quick().Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Study.SpeedupPct() < 0 {
+		t.Fatalf("adaptive slower than static: %v%%", r.Study.SpeedupPct())
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "high-radiation") {
+		t.Fatal("Print missing scenario rows")
+	}
+}
+
+func TestMemoryExperiment(t *testing.T) {
+	r, err := Quick().Memory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Constrained.Points) == 0 {
+		t.Skip("no feasible constrained point at smoke budget")
+	}
+	if r.OverflowUnconstrained < 0 || r.OverflowUnconstrained > 1 {
+		t.Fatalf("overflow fraction %v out of range", r.OverflowUnconstrained)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "storage constraints") {
+		t.Fatal("Print missing header")
+	}
+}

@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// Quick-config smoke tests double as shape checks: each experiment must
+// reproduce the qualitative result the paper reports.
+
+func TestFig6aShape(t *testing.T) {
+	r, err := Quick().Fig6a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Fronts) != 3 {
+		t.Fatalf("want 3 DVFS fronts, got %d", len(r.Fronts))
+	}
+	// Slower modes shift the fastest front point right.
+	prevMin := 0.0
+	for _, f := range r.Fronts {
+		if len(f.Points) < 2 {
+			t.Fatalf("mode %q front has %d points; CLR should yield several", f.Label, len(f.Points))
+		}
+		if f.Points[0][0] <= prevMin {
+			t.Fatalf("mode %q front does not shift right", f.Label)
+		}
+		prevMin = f.Points[0][0]
+		// Fronts are staircases: sorted by time, error must decrease.
+		for i := 1; i < len(f.Points); i++ {
+			if f.Points[i][1] >= f.Points[i-1][1] {
+				t.Fatalf("mode %q front not strictly improving in error", f.Label)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Fig. 6(a)") {
+		t.Fatal("Print output missing title")
+	}
+}
+
+func TestFig6bShape(t *testing.T) {
+	r, err := Quick().Fig6b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Fronts) != 4 {
+		t.Fatalf("want 4 masking fronts, got %d", len(r.Fronts))
+	}
+	// More implicit masking pushes the front down: compare minimum error
+	// probability across fronts.
+	prev := math.Inf(-1)
+	for i := len(r.Fronts) - 1; i >= 0; i-- {
+		minErr := math.Inf(1)
+		for _, p := range r.Fronts[i].Points {
+			minErr = math.Min(minErr, p[1])
+		}
+		if i < len(r.Fronts)-1 && minErr < prev {
+			t.Fatalf("front %q not above the higher-masking front", r.Fronts[i].Label)
+		}
+		prev = minErr
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "ImplMask=20%") {
+		t.Fatal("Print output missing series")
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	r, err := Quick().Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < 4; tt++ {
+		// Row I: one implementation per compatible PE type (two).
+		if r.Rows[0][tt] != 2 {
+			t.Fatalf("row I count for type %d = %d, want 2", tt, r.Rows[0][tt])
+		}
+		// Growth I → III, saturation III → VI.
+		if !(r.Rows[0][tt] < r.Rows[1][tt] && r.Rows[1][tt] <= r.Rows[2][tt]) {
+			t.Fatalf("type %d: no growth across rows I-III: %v", tt, r.Rows)
+		}
+		for row := 3; row < 6; row++ {
+			if r.Rows[row][tt] != r.Rows[2][tt] {
+				t.Fatalf("type %d: row %d not saturated", tt, row)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "TABLE IV") {
+		t.Fatal("Print output missing title")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	r, err := Quick().Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grew := false
+	for tt := range r.Counts[0] {
+		if r.Counts[0][tt] > r.Counts[1][tt] || r.Counts[1][tt] > r.Counts[2][tt] {
+			t.Fatalf("type %d: counts not non-decreasing across tDSE_1..3: %d %d %d",
+				tt, r.Counts[0][tt], r.Counts[1][tt], r.Counts[2][tt])
+		}
+		if r.Counts[2][tt] > r.Counts[0][tt] {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatal("richer objective sets never enlarged any type's front")
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "SYN_0") {
+		t.Fatal("Print output missing task types")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	cfg := Quick()
+	r, err := cfg.fig7At(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ImprovementPct <= 0 {
+		t.Fatalf("CLR improvement over agnostic = %.1f%%, want positive", r.ImprovementPct)
+	}
+	if len(r.PerLayer) != 4 {
+		t.Fatalf("want 4 per-layer fronts, got %d", len(r.PerLayer))
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Agnostic") {
+		t.Fatal("Print missing agnostic series")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	cfg := Quick()
+	r, err := cfg.fig8At(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ImprovementPct < 0 {
+		t.Fatalf("proposed improvement over fcCLR = %.1f%%, want ≥ 0", r.ImprovementPct)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "proposed") {
+		t.Fatal("Print missing proposed series")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	cfg := Quick()
+	// Sizes ≥ 20: the paper's own 10-task entry is an outlier, and tiny
+	// applications are noisy at smoke-test budgets.
+	cfg.Sizes = []int{20, 30}
+	r, err := cfg.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.IncreasePct) != 2 {
+		t.Fatalf("want 2 sizes, got %d", len(r.IncreasePct))
+	}
+	for i, v := range r.IncreasePct {
+		if v <= 0 {
+			t.Fatalf("size %d: CLR improvement %.1f%% not positive", r.Sizes[i], v)
+		}
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "TABLE V") {
+		t.Fatal("Print missing title")
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	cfg := Quick()
+	cfg.Sizes = []int{10, 20}
+	r, err := cfg.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range r.IncreasePct {
+		if v < 0 {
+			t.Fatalf("size %d: proposed improvement %.1f%% negative", r.Sizes[i], v)
+		}
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "TABLE VI") {
+		t.Fatal("Print missing title")
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	cfg := Quick()
+	cfg.Sizes = []int{10}
+	r, err := cfg.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := r.IncreasePct[0]
+	if len(row) != 6 {
+		t.Fatalf("want 6 columns, got %d", len(row))
+	}
+	// pfCLR_3 is the reference: exactly zero.
+	if row[5] != 0 {
+		t.Fatalf("pfCLR_3 column = %v, want 0", row[5])
+	}
+	// Every proposed_k at least matches its pfCLR_k.
+	for k := 0; k < 3; k++ {
+		if row[2*k] < row[2*k+1]-1e-9 {
+			t.Fatalf("proposed_%d (%.1f) worse than pfCLR_%d (%.1f)", k+1, row[2*k], k+1, row[2*k+1])
+		}
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "TABLE VII") {
+		t.Fatal("Print missing title")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	cfg := Quick()
+	r, err := cfg.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 6 {
+		t.Fatalf("want 6 series, got %d", len(r.Series))
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	for _, label := range []string{"proposed_1", "pfCLR_3"} {
+		if !strings.Contains(buf.String(), label) {
+			t.Fatalf("Print missing series %q", label)
+		}
+	}
+}
+
+func TestWriteTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	writeTable(&buf, []string{"a", "bbbb"}, [][]string{{"xxx", "1"}})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header+sep+row, got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[2], "xxx") {
+		t.Fatal("row content wrong")
+	}
+}
+
+func TestPctIncrease(t *testing.T) {
+	if pctIncrease(2, 1) != 100 {
+		t.Fatal("pctIncrease(2,1) != 100")
+	}
+	if pctIncrease(0, 0) != 0 {
+		t.Fatal("pctIncrease(0,0) != 0")
+	}
+	if pctIncrease(1, 0) != 1e9 {
+		t.Fatal("sentinel for empty reference front missing")
+	}
+}
+
+func TestFig8QualityMetrics(t *testing.T) {
+	cfg := Quick()
+	r, err := cfg.fig8At(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IGDFc < 0 || math.IsNaN(r.IGDFc) {
+		t.Fatalf("invalid IGD %v", r.IGDFc)
+	}
+	if r.SpacingProp < 0 || r.SpacingFc < 0 {
+		t.Fatal("negative spacing")
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "front quality") {
+		t.Fatal("Print missing quality line")
+	}
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/characterize"
+	"repro/internal/pareto"
+	"repro/internal/platform"
+	"repro/internal/plot"
+	"repro/internal/relmodel"
+	"repro/internal/taskgraph"
+	"repro/internal/tdse"
+)
+
+// Fig6aResult holds the task-level Pareto fronts of one task under each
+// DVFS mode (error probability vs. average execution time), Fig. 6(a).
+type Fig6aResult struct {
+	TaskType string
+	// Fronts maps each DVFS mode name to its front, sorted by execution
+	// time; points are (AvgExT µs, ErrProb).
+	Fronts []FrontSeries
+}
+
+// Fig6a reproduces Fig. 6(a): the task-level DSE fronts of a single task
+// type (Sobel's GSmth), one front per DVFS mode of the processor PE types.
+// Within one mode, the CLR configuration space alone spans the front.
+func (c Config) Fig6a() (*Fig6aResult, error) {
+	inst := c.sobelInstance()
+	out := &Fig6aResult{TaskType: "GSmth"}
+	procType := inst.Platform.Types()[0]
+	for mode := range procType.Modes {
+		opt := tdse.DefaultOptions()
+		opt.Modes = []int{mode}
+		front, err := tdse.Explore(inst.Lib, taskgraph.SobelGSmth, inst.Platform, inst.Catalog,
+			opt, []tdse.Objective{tdse.AvgExT, tdse.ErrProb})
+		if err != nil {
+			return nil, err
+		}
+		out.Fronts = append(out.Fronts, FrontSeries{
+			Label:  procType.Modes[mode].Name,
+			Points: sortedTaskFront(front),
+		})
+	}
+	return out, nil
+}
+
+// Print renders the figure data as a table of front points.
+func (r *Fig6aResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 6(a) — task-level Pareto fronts per DVFS mode (task type %s)\n", r.TaskType)
+	printFrontSeries(w, r.Fronts, "avg exec time (us)", "error prob (%)")
+}
+
+// Fig6bResult holds the fronts of Fig. 6(b): one per implicit-masking level.
+type Fig6bResult struct {
+	TaskType string
+	Fronts   []FrontSeries
+	// MaskLevels are the implicit masking probabilities of each front.
+	MaskLevels []float64
+}
+
+// Fig6b reproduces Fig. 6(b): the task-level Pareto front of one task type
+// under increasing implicit system-software masking (0%, 5%, 10%, 20%),
+// estimated through the Markov-chain functional reliability model.
+func (c Config) Fig6b() (*Fig6bResult, error) {
+	inst := c.sobelInstance()
+	out := &Fig6bResult{TaskType: "GSmth", MaskLevels: []float64{0, 0.05, 0.10, 0.20}}
+	for _, mask := range out.MaskLevels {
+		opt := tdse.DefaultOptions()
+		opt.ImplicitMaskingOverride = mask
+		// The paper's Fig. 6(b) x-range corresponds to a reduced-frequency
+		// operating region; restrict to the mid and low modes.
+		opt.Modes = []int{1, 2}
+		front, err := tdse.Explore(inst.Lib, taskgraph.SobelGSmth, inst.Platform, inst.Catalog,
+			opt, []tdse.Objective{tdse.AvgExT, tdse.ErrProb})
+		if err != nil {
+			return nil, err
+		}
+		out.Fronts = append(out.Fronts, FrontSeries{
+			Label:  fmt.Sprintf("ImplMask=%d%%", int(mask*100)),
+			Points: sortedTaskFront(front),
+		})
+	}
+	return out, nil
+}
+
+// Print renders the figure data.
+func (r *Fig6bResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 6(b) — task-level Pareto fronts vs implicit masking (task type %s)\n", r.TaskType)
+	printFrontSeries(w, r.Fronts, "avg exec time (us)", "error prob (%)")
+}
+
+// sortedTaskFront converts tDSE candidates to (AvgExT, ErrProb) points.
+// tDSE filters per PE type (a mapping concern); for the single-task figure
+// the union is filtered once more globally so the plotted series is a true
+// staircase, then sorted by execution time.
+func sortedTaskFront(cands []tdse.Candidate) [][]float64 {
+	pts := make([][]float64, len(cands))
+	for i, c := range cands {
+		pts[i] = []float64{c.Metrics.AvgExTimeUS, c.Metrics.ErrProb}
+	}
+	pts = pareto.FilterPoints(pts)
+	sort.Slice(pts, func(i, j int) bool { return pts[i][0] < pts[j][0] })
+	return pts
+}
+
+// printFrontSeries draws the series as an ASCII scatter plot and lists the
+// points numerically (error probabilities in percent).
+func printFrontSeries(w io.Writer, fronts []FrontSeries, xLabel, yLabel string) {
+	var ps []plot.Series
+	for _, f := range fronts {
+		ps = append(ps, plot.Series{Label: f.Label, Points: f.Points})
+	}
+	fmt.Fprint(w, plot.NewScatter(64, 16, xLabel, yLabel).Render(ps))
+	for _, f := range fronts {
+		fmt.Fprintf(w, "  series %q (%d points): %s, %s\n", f.Label, len(f.Points), xLabel, yLabel)
+		for _, p := range f.Points {
+			fmt.Fprintf(w, "    %10.1f  %7.3f\n", p[0], p[1]*100)
+		}
+	}
+}
+
+// Table4Result holds the Pareto-front design-point counts of each Sobel
+// task type under the cumulative objective sets I-VI (TABLE IV).
+type Table4Result struct {
+	// Rows[i][j] is the count of objective set i for task type j; task
+	// types are GScale, GSmth, SobGrad, CombThr.
+	Rows [6][4]int
+	// RowLabels describe each cumulative objective set.
+	RowLabels [6]string
+}
+
+// Table4 reproduces TABLE IV: the number of task-level Pareto-front design
+// points per Sobel task type as objectives accumulate (average execution
+// time; +error probability; +MTTF; +energy; +power; +peak temperature).
+func (c Config) Table4() (*Table4Result, error) {
+	inst := c.sobelInstance()
+	out := &Table4Result{}
+	labels := []string{
+		"I    Average Execution time",
+		"II   I + Error Probability",
+		"III  II + MTTF",
+		"IV   III + Energy",
+		"V    IV + Power Dissipation",
+		"VI   V + Peak Temperature",
+	}
+	for i, objs := range tdse.ObjectiveSets() {
+		out.RowLabels[i] = labels[i]
+		for tt := 0; tt < 4; tt++ {
+			front, err := tdse.Explore(inst.Lib, tt, inst.Platform, inst.Catalog,
+				tdse.DefaultOptions(), objs)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows[i][tt] = len(front)
+		}
+	}
+	return out, nil
+}
+
+// Print renders TABLE IV.
+func (r *Table4Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "TABLE IV — #Pareto-front design points per task type (Sobel)")
+	header := []string{"Optimization Objectives", "GScale", "GSmth", "SobGrad", "CombThr"}
+	var rows [][]string
+	for i := range r.Rows {
+		row := []string{r.RowLabels[i]}
+		for _, v := range r.Rows[i] {
+			row = append(row, fmt.Sprintf("%d", v))
+		}
+		rows = append(rows, row)
+	}
+	writeTable(w, header, rows)
+}
+
+// Fig9Result holds the per-task-type Pareto implementation counts of the
+// three tDSE executions (Fig. 9).
+type Fig9Result struct {
+	// Counts[k][tt] is the implementation count of tDSE_(k+1) for
+	// synthetic task type tt (SYN_0 … SYN_9).
+	Counts [3][]int
+}
+
+// Fig9 reproduces Fig. 9: the number of task-level Pareto implementations
+// of each synthetic task type for the three tDSE objective sets of
+// increasing richness.
+func (c Config) Fig9() (*Fig9Result, error) {
+	p := platform.Default()
+	lib := syntheticLibrary(c, p)
+	out := &Fig9Result{}
+	for k, objs := range TDSEObjectiveSets() {
+		fl, err := tdse.Build(lib, p, relmodel.DefaultCatalog(), tdse.DefaultOptions(), objs)
+		if err != nil {
+			return nil, err
+		}
+		out.Counts[k] = fl.Counts()
+	}
+	return out, nil
+}
+
+// Print renders the bar-chart data of Fig. 9.
+func (r *Fig9Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 9 — #Pareto implementations per task type for three tDSE executions")
+	header := []string{"Task type", "tDSE_1", "tDSE_2", "tDSE_3"}
+	var rows [][]string
+	for tt := range r.Counts[0] {
+		rows = append(rows, []string{
+			fmt.Sprintf("SYN_%d", tt),
+			fmt.Sprintf("%d", r.Counts[0][tt]),
+			fmt.Sprintf("%d", r.Counts[1][tt]),
+			fmt.Sprintf("%d", r.Counts[2][tt]),
+		})
+	}
+	writeTable(w, header, rows)
+}
+
+// syntheticLibrary builds the shared ten-type synthetic characterization
+// used by the Fig. 9 / Fig. 10 / TABLE VII studies.
+func syntheticLibrary(c Config, p *platform.Platform) *characterize.Library {
+	return characterize.Synthetic(p, characterize.DefaultSyntheticConfig(10), c.Seed+500)
+}

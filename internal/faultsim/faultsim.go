@@ -1,0 +1,203 @@
+// Package faultsim is a Monte-Carlo fault-injection simulator used to
+// validate the analytical reliability models of Section IV: it executes
+// random walks through the same Markov chains the analysis solves in closed
+// form (task level), and event-driven application runs with sampled task
+// durations and outcomes (system level). Agreement between the empirical
+// estimates here and the fundamental-matrix results is the evidence that
+// the early-stage estimators are trustworthy.
+package faultsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/markov"
+	"repro/internal/relmodel"
+	"repro/internal/taskgraph"
+)
+
+// TaskStats are empirical task-level estimates with standard errors.
+type TaskStats struct {
+	Trials int
+	// MeanTimeUS estimates the average execution time; TimeStdErr is the
+	// standard error of that mean.
+	MeanTimeUS, TimeStdErr float64
+	// ErrProb estimates the probability of an erroneous result;
+	// ErrProbStdErr is its standard error.
+	ErrProb, ErrProbStdErr float64
+}
+
+// SimulateTask runs trials random executions of a task under the given CLR
+// chain parameters: the timing chain yields the duration sample, the
+// functional chain the error outcome.
+func SimulateTask(params relmodel.ChainParams, trials int, seed int64) (TaskStats, error) {
+	var out TaskStats
+	if trials <= 0 {
+		return out, fmt.Errorf("faultsim: trials %d must be positive", trials)
+	}
+	timing, err := relmodel.BuildTimingChain(params)
+	if err != nil {
+		return out, err
+	}
+	functional, err := relmodel.BuildFunctionalChain(params)
+	if err != nil {
+		return out, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var sumT, sumT2 float64
+	errors := 0
+	for i := 0; i < trials; i++ {
+		tw, err := timing.Sample(rng, 0)
+		if err != nil {
+			return out, err
+		}
+		sumT += tw.Time
+		sumT2 += tw.Time * tw.Time
+		fw, err := functional.Sample(rng, 0)
+		if err != nil {
+			return out, err
+		}
+		if functional.Name(fw.Absorbed) == "Error" {
+			errors++
+		}
+	}
+	n := float64(trials)
+	mean := sumT / n
+	variance := math.Max(0, sumT2/n-mean*mean)
+	p := float64(errors) / n
+	out = TaskStats{
+		Trials:        trials,
+		MeanTimeUS:    mean,
+		TimeStdErr:    math.Sqrt(variance / n),
+		ErrProb:       p,
+		ErrProbStdErr: math.Sqrt(p * (1 - p) / n),
+	}
+	return out, nil
+}
+
+// TaskAssignment is one task's simulation inputs: its host PE and the CLR
+// chain parameters of its chosen configuration.
+type TaskAssignment struct {
+	PE     int
+	Params relmodel.ChainParams
+}
+
+// AppStats are empirical system-level estimates over one application.
+type AppStats struct {
+	Trials int
+	// MeanMakespanUS estimates the average makespan (Eq. 1's quantity).
+	MeanMakespanUS, MakespanStdErr float64
+	// FunctionalRel estimates the criticality-weighted functional
+	// reliability (Eq. 3's quantity).
+	FunctionalRel float64
+	// TaskErrRate[t] is the per-task empirical error rate.
+	TaskErrRate []float64
+}
+
+// SimulateApp runs trials event-driven executions of the application: per
+// trial, every task's duration and error outcome are sampled from its
+// chains, and tasks are list-scheduled in priority order on their assigned
+// PEs. numPEs bounds the PE index space.
+func SimulateApp(g *taskgraph.Graph, numPEs int, priority []int, asg []TaskAssignment, trials int, seed int64) (*AppStats, error) {
+	n := g.NumTasks()
+	if len(priority) != n || len(asg) != n {
+		return nil, fmt.Errorf("faultsim: priority/assignment arity mismatch")
+	}
+	if trials <= 0 {
+		return nil, fmt.Errorf("faultsim: trials %d must be positive", trials)
+	}
+	timing := make([]*markov.Chain, n)
+	functional := make([]*markov.Chain, n)
+	for t := 0; t < n; t++ {
+		if asg[t].PE < 0 || asg[t].PE >= numPEs {
+			return nil, fmt.Errorf("faultsim: task %d on unknown PE %d", t, asg[t].PE)
+		}
+		var err error
+		if timing[t], err = relmodel.BuildTimingChain(asg[t].Params); err != nil {
+			return nil, fmt.Errorf("faultsim: task %d: %w", t, err)
+		}
+		if functional[t], err = relmodel.BuildFunctionalChain(asg[t].Params); err != nil {
+			return nil, fmt.Errorf("faultsim: task %d: %w", t, err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	zeta := g.NormalizedCriticality()
+	stats := &AppStats{Trials: trials, TaskErrRate: make([]float64, n)}
+	var sumMk, sumMk2, sumFRel float64
+	durations := make([]float64, n)
+	start := make([]float64, n)
+	end := make([]float64, n)
+	done := make([]bool, n)
+	peFree := make([]float64, numPEs)
+
+	for trial := 0; trial < trials; trial++ {
+		fRel := 0.0
+		for t := 0; t < n; t++ {
+			tw, err := timing[t].Sample(rng, 0)
+			if err != nil {
+				return nil, err
+			}
+			durations[t] = tw.Time
+			fw, err := functional[t].Sample(rng, 0)
+			if err != nil {
+				return nil, err
+			}
+			if functional[t].Name(fw.Absorbed) == "Error" {
+				stats.TaskErrRate[t]++
+			} else {
+				fRel += zeta[t]
+			}
+			done[t] = false
+		}
+		for pe := range peFree {
+			peFree[pe] = 0
+		}
+		// List-schedule with the sampled durations.
+		for scheduled := 0; scheduled < n; {
+			for _, t := range priority {
+				if done[t] {
+					continue
+				}
+				ready := true
+				readyAt := 0.0
+				for _, pr := range g.Preds(t) {
+					if !done[pr] {
+						ready = false
+						break
+					}
+					readyAt = math.Max(readyAt, end[pr])
+				}
+				if !ready {
+					continue
+				}
+				pe := asg[t].PE
+				start[t] = math.Max(readyAt, peFree[pe])
+				end[t] = start[t] + durations[t]
+				peFree[pe] = end[t]
+				done[t] = true
+				scheduled++
+				break
+			}
+		}
+		mk := 0.0
+		for t := 0; t < n; t++ {
+			mk = math.Max(mk, end[t])
+		}
+		sumMk += mk
+		sumMk2 += mk * mk
+		sumFRel += fRel
+	}
+
+	nf := float64(trials)
+	mean := sumMk / nf
+	variance := math.Max(0, sumMk2/nf-mean*mean)
+	stats.MeanMakespanUS = mean
+	stats.MakespanStdErr = math.Sqrt(variance / nf)
+	stats.FunctionalRel = sumFRel / nf
+	for t := range stats.TaskErrRate {
+		stats.TaskErrRate[t] /= nf
+	}
+	return stats, nil
+}

@@ -1,0 +1,193 @@
+package faultsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/relmodel"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+func params(lambda float64, chk int) relmodel.ChainParams {
+	return relmodel.ChainParams{
+		ExecTimeUS:            1000,
+		LambdaPerUS:           lambda,
+		Checkpoints:           chk,
+		DetTimeUS:             20,
+		TolTimeUS:             30,
+		ChkTimeUS:             25,
+		MHW:                   0.4,
+		MImplSSW:              0.05,
+		CovDet:                0.92,
+		MTol:                  0.98,
+		MASW:                  0.6,
+		ModelCheckpointErrors: true,
+	}
+}
+
+// The central validation: fault injection agrees with the Markov analysis
+// within statistical error.
+func TestTaskSimMatchesAnalysis(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		lambda float64
+		chk    int
+	}{
+		{"low-rate no-chk", 1e-5, 0},
+		{"mid-rate two-chk", 2e-4, 2},
+		{"high-rate four-chk", 5e-4, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := params(tc.lambda, tc.chk)
+			analytic, err := relmodel.AnalyzeChains(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := SimulateTask(p, 60000, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(sim.MeanTimeUS - analytic.AvgExTimeUS); d > 5*sim.TimeStdErr+1e-6 {
+				t.Fatalf("time: simulated %v vs analytic %v (Δ=%v, 5σ=%v)",
+					sim.MeanTimeUS, analytic.AvgExTimeUS, d, 5*sim.TimeStdErr)
+			}
+			if d := math.Abs(sim.ErrProb - analytic.ErrProb); d > 5*sim.ErrProbStdErr+1e-4 {
+				t.Fatalf("errprob: simulated %v vs analytic %v", sim.ErrProb, analytic.ErrProb)
+			}
+		})
+	}
+}
+
+func TestTaskSimZeroFaults(t *testing.T) {
+	p := params(0, 1)
+	sim, err := SimulateTask(p, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.ErrProb != 0 {
+		t.Fatalf("errors with zero fault rate: %v", sim.ErrProb)
+	}
+	if sim.TimeStdErr != 0 {
+		t.Fatalf("time variance with deterministic execution: %v", sim.TimeStdErr)
+	}
+}
+
+func TestTaskSimValidation(t *testing.T) {
+	if _, err := SimulateTask(params(1e-4, 0), 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+	bad := params(1e-4, 0)
+	bad.ExecTimeUS = -1
+	if _, err := SimulateTask(bad, 100, 1); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func appFixture() (*taskgraph.Graph, []int, []TaskAssignment) {
+	g := taskgraph.Sobel()
+	asg := make([]TaskAssignment, g.NumTasks())
+	for t := range asg {
+		asg[t] = TaskAssignment{PE: t % 3, Params: params(1e-4, 1)}
+	}
+	return g, g.TopoOrder(), asg
+}
+
+func TestAppSimMatchesScheduleEstimate(t *testing.T) {
+	g, prio, asg := appFixture()
+	stats, err := SimulateApp(g, 6, prio, asg, 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build the analytical estimate with the same decisions.
+	decisions := make([]schedule.TaskDecision, g.NumTasks())
+	for i := range decisions {
+		rel, err := relmodel.AnalyzeChains(asg[i].Params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decisions[i] = schedule.TaskDecision{
+			PE: asg[i].PE,
+			Metrics: relmodel.Metrics{
+				AvgExTimeUS: rel.AvgExTimeUS,
+				MinExTimeUS: rel.MinExTimeUS,
+				ErrProb:     rel.ErrProb,
+				PowerW:      1,
+				MTTFHours:   1e5,
+			},
+		}
+	}
+	analytic, err := schedule.Run(g, platform.Default(), prio, decisions)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Makespan: the analytical estimate composes *average* task times, so
+	// it is an approximation of the true mean makespan (Jensen gap on the
+	// max); they must agree within a few percent at this fault rate.
+	relDiff := math.Abs(stats.MeanMakespanUS-analytic.MakespanUS) / analytic.MakespanUS
+	if relDiff > 0.05 {
+		t.Fatalf("makespan: simulated %v vs analytic %v (%.1f%% apart)",
+			stats.MeanMakespanUS, analytic.MakespanUS, relDiff*100)
+	}
+	// Functional reliability is linear in the per-task error rates, so the
+	// agreement must be tight.
+	if d := math.Abs(stats.FunctionalRel - analytic.FunctionalRel); d > 0.005 {
+		t.Fatalf("functional reliability: simulated %v vs analytic %v",
+			stats.FunctionalRel, analytic.FunctionalRel)
+	}
+}
+
+func TestAppSimPerTaskErrorRates(t *testing.T) {
+	g, prio, asg := appFixture()
+	stats, err := SimulateApp(g, 6, prio, asg, 20000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := relmodel.AnalyzeChains(asg[0].Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tsk, rate := range stats.TaskErrRate {
+		if math.Abs(rate-rel.ErrProb) > 0.01 {
+			t.Fatalf("task %d error rate %v far from analytic %v", tsk, rate, rel.ErrProb)
+		}
+	}
+}
+
+func TestAppSimValidation(t *testing.T) {
+	g, prio, asg := appFixture()
+	if _, err := SimulateApp(g, 6, prio[:2], asg, 100, 1); err == nil {
+		t.Error("short priority accepted")
+	}
+	if _, err := SimulateApp(g, 6, prio, asg, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+	badPE := append([]TaskAssignment(nil), asg...)
+	badPE[0].PE = 9
+	if _, err := SimulateApp(g, 6, prio, badPE, 100, 1); err == nil {
+		t.Error("unknown PE accepted")
+	}
+	badParams := append([]TaskAssignment(nil), asg...)
+	badParams[1].Params.ExecTimeUS = 0
+	if _, err := SimulateApp(g, 6, prio, badParams, 100, 1); err == nil {
+		t.Error("invalid chain params accepted")
+	}
+}
+
+func TestAppSimDeterministic(t *testing.T) {
+	g, prio, asg := appFixture()
+	a, err := SimulateApp(g, 6, prio, asg, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateApp(g, 6, prio, asg, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanMakespanUS != b.MeanMakespanUS || a.FunctionalRel != b.FunctionalRel {
+		t.Fatal("simulation not deterministic for equal seeds")
+	}
+}

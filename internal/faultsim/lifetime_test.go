@@ -1,0 +1,126 @@
+package faultsim
+
+import (
+	"math"
+	"testing"
+)
+
+func stressFixture() PEStress {
+	return PEStress{
+		PeriodUS: 2e5,
+		Beta:     2.0,
+		Entries: []StressEntry{
+			{ExTimeUS: 3000, EtaHours: 8e4},
+			{ExTimeUS: 1500, EtaHours: 5e4},
+			{ExTimeUS: 500, EtaHours: 1.2e5},
+		},
+	}
+}
+
+func TestLifetimeSimMatchesEq2(t *testing.T) {
+	s := stressFixture()
+	ana, err := AnalyticMTTFHours(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := SimulateLifetime(s, 40000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(sim.MeanHours - ana); d > 5*sim.StdErrHours {
+		t.Fatalf("lifetime: simulated %v vs Eq.2 %v (Δ=%v, 5σ=%v)",
+			sim.MeanHours, ana, d, 5*sim.StdErrHours)
+	}
+}
+
+func TestLifetimeShapeParameterEffect(t *testing.T) {
+	// Higher β (sharper wear-out) with equal scale shifts the mean via
+	// Γ(1+1/β): β=1 gives Γ(2)=1, β→∞ approaches Γ(1)=1, with a dip
+	// between. Check two points against the closed form.
+	for _, beta := range []float64{1.0, 3.0} {
+		s := stressFixture()
+		s.Beta = beta
+		ana, err := AnalyticMTTFHours(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := SimulateLifetime(s, 30000, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(sim.MeanHours - ana); d > 5*sim.StdErrHours {
+			t.Fatalf("β=%v: simulated %v vs analytic %v", beta, sim.MeanHours, ana)
+		}
+	}
+}
+
+func TestLifetimeMoreStressShorterLife(t *testing.T) {
+	light := stressFixture()
+	heavy := stressFixture()
+	heavy.Entries = append(heavy.Entries, StressEntry{ExTimeUS: 5000, EtaHours: 4e4})
+	la, _ := AnalyticMTTFHours(light)
+	ha, _ := AnalyticMTTFHours(heavy)
+	if !(ha < la) {
+		t.Fatalf("more stress must shorten analytic MTTF: %v vs %v", ha, la)
+	}
+	ls, err := SimulateLifetime(light, 20000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := SimulateLifetime(heavy, 20000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hs.MeanHours < ls.MeanHours) {
+		t.Fatal("more stress must shorten simulated MTTF")
+	}
+}
+
+func TestLifetimeValidation(t *testing.T) {
+	good := stressFixture()
+	if _, err := SimulateLifetime(good, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+	bad := good
+	bad.Beta = 0
+	if _, err := SimulateLifetime(bad, 10, 1); err == nil {
+		t.Error("zero beta accepted")
+	}
+	if _, err := AnalyticMTTFHours(bad); err == nil {
+		t.Error("analytic with zero beta accepted")
+	}
+	idle := good
+	idle.Entries = nil
+	if _, err := SimulateLifetime(idle, 10, 1); err == nil {
+		t.Error("stress-free PE accepted")
+	}
+	if _, err := AnalyticMTTFHours(idle); err == nil {
+		t.Error("analytic stress-free PE accepted")
+	}
+	neg := stressFixture()
+	neg.Entries[0].EtaHours = -1
+	if _, err := SimulateLifetime(neg, 10, 1); err == nil {
+		t.Error("negative eta accepted")
+	}
+}
+
+func TestLifetimeConsistentWithScheduleEstimator(t *testing.T) {
+	// Eq. 2 as implemented in the schedule package must agree with
+	// AnalyticMTTFHours for a single-PE workload.
+	s := stressFixture()
+	// schedule.Result computes Papp / Σ(ExT/MTTF_t) with
+	// MTTF_t = η_t·Γ(1+1/β) — identical algebra.
+	gamma := math.Gamma(1 + 1/s.Beta)
+	damage := 0.0
+	for _, e := range s.Entries {
+		damage += e.ExTimeUS / (e.EtaHours * gamma)
+	}
+	scheduleStyle := s.PeriodUS / damage
+	ana, err := AnalyticMTTFHours(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scheduleStyle-ana) > 1e-9*ana {
+		t.Fatalf("estimators disagree: %v vs %v", scheduleStyle, ana)
+	}
+}

@@ -1,0 +1,199 @@
+package heft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+func uniformCosts(n, nPE int, cost float64) Costs {
+	c := Costs{ExecUS: make([][]float64, n)}
+	for t := range c.ExecUS {
+		c.ExecUS[t] = make([]float64, nPE)
+		for pe := range c.ExecUS[t] {
+			c.ExecUS[t][pe] = cost
+		}
+	}
+	return c
+}
+
+func TestIndependentTasksSpread(t *testing.T) {
+	// Four independent equal tasks on six PEs: HEFT spreads them and the
+	// makespan equals one task's cost.
+	b := taskgraph.NewBuilder("ind", 1e5)
+	for i := 0; i < 4; i++ {
+		b.AddTask("t", 0, 1)
+	}
+	g := b.MustBuild()
+	p := platform.Default()
+	res, err := Schedule(g, p, uniformCosts(4, p.NumPEs(), 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakespanUS != 100 {
+		t.Fatalf("makespan %v, want 100 (full parallelism)", res.MakespanUS)
+	}
+	used := map[int]bool{}
+	for _, pe := range res.PE {
+		if used[pe] {
+			t.Fatal("two independent tasks share a PE despite free PEs")
+		}
+		used[pe] = true
+	}
+}
+
+func TestChainPrefersFastPE(t *testing.T) {
+	// A two-task chain where PE 1 is much faster: both land on PE 1.
+	b := taskgraph.NewBuilder("c", 1e5)
+	b.AddTask("a", 0, 1)
+	b.AddTask("b", 0, 1)
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	p := platform.Default()
+	c := uniformCosts(2, p.NumPEs(), 300)
+	c.ExecUS[0][1] = 100
+	c.ExecUS[1][1] = 100
+	res, err := Schedule(g, p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PE[0] != 1 || res.PE[1] != 1 {
+		t.Fatalf("mapping %v, want both on PE 1", res.PE)
+	}
+	if res.MakespanUS != 200 {
+		t.Fatalf("makespan %v, want 200", res.MakespanUS)
+	}
+}
+
+func TestCommMakesColocationWin(t *testing.T) {
+	// Heavy communication: the successor joins its predecessor's PE even
+	// though another PE is idle.
+	b := taskgraph.NewBuilder("comm", 1e5)
+	b.AddTask("a", 0, 1)
+	b.AddTask("b", 0, 1)
+	b.AddEdgeData(0, 1, 64)
+	g := b.MustBuild()
+	p := platform.Default()
+	c := uniformCosts(2, p.NumPEs(), 100)
+	c.CommUS = map[[2]int]float64{{0, 1}: 500}
+	res, err := Schedule(g, p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PE[0] != res.PE[1] {
+		t.Fatalf("mapping %v, want co-located under heavy comm", res.PE)
+	}
+}
+
+func TestIncompatibilityRespected(t *testing.T) {
+	b := taskgraph.NewBuilder("inc", 1e5)
+	b.AddTask("a", 0, 1)
+	g := b.MustBuild()
+	p := platform.Default()
+	c := uniformCosts(1, p.NumPEs(), 100)
+	for pe := 0; pe < p.NumPEs(); pe++ {
+		if pe != 3 {
+			c.ExecUS[0][pe] = math.Inf(1)
+		}
+	}
+	res, err := Schedule(g, p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PE[0] != 3 {
+		t.Fatalf("task placed on %d, only PE 3 is compatible", res.PE[0])
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	b := taskgraph.NewBuilder("e", 1e5)
+	b.AddTask("a", 0, 1)
+	g := b.MustBuild()
+	p := platform.Default()
+	if _, err := Schedule(g, p, Costs{}); err == nil {
+		t.Error("missing costs accepted")
+	}
+	short := Costs{ExecUS: [][]float64{{1, 2}}}
+	if _, err := Schedule(g, p, short); err == nil {
+		t.Error("short PE cost row accepted")
+	}
+	none := uniformCosts(1, p.NumPEs(), 100)
+	for pe := range none.ExecUS[0] {
+		none.ExecUS[0][pe] = math.Inf(1)
+	}
+	if _, err := Schedule(g, p, none); err == nil {
+		t.Error("task with no compatible PE accepted")
+	}
+	neg := uniformCosts(1, p.NumPEs(), 100)
+	neg.ExecUS[0][0] = -1
+	if _, err := Schedule(g, p, neg); err == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+func TestPropertyScheduleValid(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		b := taskgraph.NewBuilder("r", 1e6)
+		for i := 0; i < n; i++ {
+			b.AddTask("t", 0, 1)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.25 {
+					b.AddEdge(i, j)
+				}
+			}
+		}
+		g := b.MustBuild()
+		p := platform.Default()
+		c := Costs{ExecUS: make([][]float64, n), CommUS: map[[2]int]float64{}}
+		for t := 0; t < n; t++ {
+			c.ExecUS[t] = make([]float64, p.NumPEs())
+			for pe := range c.ExecUS[t] {
+				c.ExecUS[t][pe] = 50 + rng.Float64()*500
+			}
+		}
+		for _, e := range g.Edges() {
+			c.CommUS[[2]int{e.From, e.To}] = rng.Float64() * 100
+		}
+		res, err := Schedule(g, p, c)
+		if err != nil {
+			return false
+		}
+		// Order must be a valid topological order.
+		if !g.IsValidTopo(res.Order) {
+			return false
+		}
+		// Precedence with communication delays.
+		for _, e := range g.Edges() {
+			at := res.EndUS[e.From]
+			if res.PE[e.From] != res.PE[e.To] {
+				at += c.CommUS[[2]int{e.From, e.To}]
+			}
+			if res.StartUS[e.To] < at-1e-9 {
+				return false
+			}
+		}
+		// Resource exclusivity.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if res.PE[i] != res.PE[j] {
+					continue
+				}
+				if res.StartUS[i] < res.EndUS[j]-1e-9 && res.StartUS[j] < res.EndUS[i]-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

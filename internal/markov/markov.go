@@ -1,0 +1,355 @@
+// Package markov implements absorbing discrete-state Markov chains with
+// per-state residence times, the analysis machinery behind the task-level
+// reliability models of CL(R)Early (Section IV of the paper).
+//
+// A chain is a set of named states, a subset of which are absorbing, plus
+// transition probabilities between states. Each transient state carries a
+// residence time: the time spent in the state per visit. Two questions are
+// answered analytically, via the fundamental matrix N = (I − Q)⁻¹ of the
+// chain (Kemeny & Snell):
+//
+//   - the expected accumulated residence time until absorption, which the
+//     reliability model reads as the task's average execution time, and
+//   - the probability of being absorbed in each absorbing state, which the
+//     functional-reliability model reads as P(noError) and P(Error).
+package markov
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// Chain is a builder for an absorbing Markov chain. States are referenced
+// by the integer handles returned from AddState/AddAbsorbing.
+type Chain struct {
+	names     []string
+	residence []float64
+	absorbing []bool
+	edges     map[int][]edge
+	start     int
+	hasStart  bool
+}
+
+type edge struct {
+	to   int
+	prob float64
+}
+
+// New returns an empty chain.
+func New() *Chain {
+	return &Chain{edges: make(map[int][]edge)}
+}
+
+// AddState adds a transient state with the given per-visit residence time
+// and returns its handle.
+func (c *Chain) AddState(name string, residence float64) int {
+	if residence < 0 || math.IsNaN(residence) {
+		panic(fmt.Sprintf("markov: invalid residence time %v for state %q", residence, name))
+	}
+	c.names = append(c.names, name)
+	c.residence = append(c.residence, residence)
+	c.absorbing = append(c.absorbing, false)
+	return len(c.names) - 1
+}
+
+// AddAbsorbing adds an absorbing state and returns its handle.
+func (c *Chain) AddAbsorbing(name string) int {
+	c.names = append(c.names, name)
+	c.residence = append(c.residence, 0)
+	c.absorbing = append(c.absorbing, true)
+	return len(c.names) - 1
+}
+
+// SetStart marks the initial state of the chain.
+func (c *Chain) SetStart(s int) {
+	c.checkState(s)
+	c.start = s
+	c.hasStart = true
+}
+
+// Transition adds a transition from → to with the given probability.
+// Probabilities out of a state must sum to 1 (checked in Analyze).
+// Zero-probability transitions are dropped.
+func (c *Chain) Transition(from, to int, prob float64) {
+	c.checkState(from)
+	c.checkState(to)
+	if prob < 0 || prob > 1+1e-12 || math.IsNaN(prob) {
+		panic(fmt.Sprintf("markov: invalid probability %v on %q→%q", prob, c.names[from], c.names[to]))
+	}
+	if c.absorbing[from] {
+		panic(fmt.Sprintf("markov: transition out of absorbing state %q", c.names[from]))
+	}
+	if prob == 0 {
+		return
+	}
+	c.edges[from] = append(c.edges[from], edge{to: to, prob: prob})
+}
+
+func (c *Chain) checkState(s int) {
+	if s < 0 || s >= len(c.names) {
+		panic(fmt.Sprintf("markov: unknown state handle %d", s))
+	}
+}
+
+// NumStates returns the total number of states.
+func (c *Chain) NumStates() int { return len(c.names) }
+
+// Name returns the name of state s.
+func (c *Chain) Name(s int) string {
+	c.checkState(s)
+	return c.names[s]
+}
+
+// Result holds the analysis outputs for an absorbing chain.
+type Result struct {
+	// ExpectedTime is the expected accumulated residence time from the
+	// start state until absorption.
+	ExpectedTime float64
+	// ExpectedVisits maps each transient state handle to its expected
+	// number of visits from the start state.
+	ExpectedVisits map[int]float64
+	// Absorption maps each absorbing state handle to the probability of
+	// eventually being absorbed there from the start state.
+	Absorption map[int]float64
+}
+
+// AbsorptionByName returns the absorption probability of the named state.
+func (c *Chain) absorptionName(r *Result, name string) (float64, bool) {
+	for s, p := range r.Absorption {
+		if c.names[s] == name {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// Analyze validates the chain and computes expected time to absorption and
+// absorption probabilities using the fundamental matrix.
+func (c *Chain) Analyze() (*Result, error) {
+	if !c.hasStart {
+		return nil, fmt.Errorf("markov: no start state set")
+	}
+	if c.absorbing[c.start] {
+		// Degenerate but legal: absorbed immediately.
+		return &Result{
+			ExpectedTime:   0,
+			ExpectedVisits: map[int]float64{},
+			Absorption:     map[int]float64{c.start: 1},
+		}, nil
+	}
+
+	var transient, absorbing []int
+	for s := range c.names {
+		if c.absorbing[s] {
+			absorbing = append(absorbing, s)
+		} else {
+			transient = append(transient, s)
+		}
+	}
+	if len(absorbing) == 0 {
+		return nil, fmt.Errorf("markov: chain has no absorbing state")
+	}
+	// Validate outgoing probability mass of transient states.
+	for _, s := range transient {
+		sum := 0.0
+		for _, e := range c.edges[s] {
+			sum += e.prob
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return nil, fmt.Errorf("markov: state %q has outgoing probability %v, want 1", c.names[s], sum)
+		}
+	}
+
+	tIndex := make(map[int]int, len(transient)) // state handle → row in Q
+	for i, s := range transient {
+		tIndex[s] = i
+	}
+	aIndex := make(map[int]int, len(absorbing))
+	for i, s := range absorbing {
+		aIndex[s] = i
+	}
+
+	nT, nA := len(transient), len(absorbing)
+	q := matrix.New(nT, nT) // transient → transient
+	r := matrix.New(nT, nA) // transient → absorbing
+	for _, s := range transient {
+		i := tIndex[s]
+		for _, e := range c.edges[s] {
+			if c.absorbing[e.to] {
+				r.Add(i, aIndex[e.to], e.prob)
+			} else {
+				q.Add(i, tIndex[e.to], e.prob)
+			}
+		}
+	}
+
+	// Fundamental matrix N = (I − Q)⁻¹. We only need the start row of N:
+	// visits v = e_startᵀ·N, obtained by solving (I − Q)ᵀ·vᵀ = e_start.
+	iq := matrix.Identity(nT).Sub(q)
+	iqT := matrix.New(nT, nT)
+	for i := 0; i < nT; i++ {
+		for j := 0; j < nT; j++ {
+			iqT.Set(i, j, iq.At(j, i))
+		}
+	}
+	ft, err := matrix.Factorize(iqT)
+	if err != nil {
+		return nil, fmt.Errorf("markov: chain is not absorbing from every transient state: %w", err)
+	}
+	e := make([]float64, nT)
+	e[tIndex[c.start]] = 1
+	visits := ft.SolveVec(e)
+
+	res := &Result{
+		ExpectedVisits: make(map[int]float64, nT),
+		Absorption:     make(map[int]float64, nA),
+	}
+	for _, s := range transient {
+		v := visits[tIndex[s]]
+		res.ExpectedVisits[s] = v
+		res.ExpectedTime += v * c.residence[s]
+	}
+	// Absorption probabilities B = N·R; start row is visitsᵀ·R.
+	for _, s := range absorbing {
+		j := aIndex[s]
+		p := 0.0
+		for _, ts := range transient {
+			p += visits[tIndex[ts]] * r.At(tIndex[ts], j)
+		}
+		res.Absorption[s] = p
+	}
+	return res, nil
+}
+
+// AbsorptionProbability is a convenience accessor: the probability of
+// absorption in the state with the given name. The second return is false
+// if no absorbing state has that name.
+func (c *Chain) AbsorptionProbability(r *Result, name string) (float64, bool) {
+	return c.absorptionName(r, name)
+}
+
+// Validate checks structural consistency without running the full analysis:
+// every transient state has outgoing mass 1 and at least one absorbing
+// state is reachable from the start state.
+func (c *Chain) Validate() error {
+	if !c.hasStart {
+		return fmt.Errorf("markov: no start state set")
+	}
+	for s := range c.names {
+		if c.absorbing[s] {
+			continue
+		}
+		sum := 0.0
+		for _, e := range c.edges[s] {
+			sum += e.prob
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("markov: state %q has outgoing probability %v, want 1", c.names[s], sum)
+		}
+	}
+	// Reachability sweep.
+	seen := map[int]bool{c.start: true}
+	stack := []int{c.start}
+	absorbReachable := false
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if c.absorbing[s] {
+			absorbReachable = true
+			continue
+		}
+		for _, e := range c.edges[s] {
+			if !seen[e.to] {
+				seen[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	if !absorbReachable {
+		return fmt.Errorf("markov: no absorbing state reachable from start")
+	}
+	return nil
+}
+
+// States returns the handles of all states in insertion order, useful for
+// deterministic iteration in tests and dumps.
+func (c *Chain) States() []int {
+	out := make([]int, len(c.names))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Dump renders the chain structure deterministically for debugging.
+func (c *Chain) Dump() string {
+	out := ""
+	for s := range c.names {
+		kind := "transient"
+		if c.absorbing[s] {
+			kind = "absorbing"
+		}
+		out += fmt.Sprintf("%d %s (%s, residence %.4g)\n", s, c.names[s], kind, c.residence[s])
+		edges := append([]edge(nil), c.edges[s]...)
+		sort.Slice(edges, func(i, j int) bool { return edges[i].to < edges[j].to })
+		for _, e := range edges {
+			out += fmt.Sprintf("  → %s  p=%.6g\n", c.names[e.to], e.prob)
+		}
+	}
+	return out
+}
+
+// SampleResult is one random walk through the chain.
+type SampleResult struct {
+	// Absorbed is the absorbing state the walk ended in.
+	Absorbed int
+	// Time is the accumulated residence time along the walk.
+	Time float64
+	// Steps counts state transitions taken.
+	Steps int
+}
+
+// Sample performs one random walk from the start state to absorption,
+// the Monte-Carlo counterpart of Analyze used for model validation.
+// maxSteps bounds runaway walks (≤ 0 selects a generous default); walks
+// exceeding the bound return an error.
+func (c *Chain) Sample(rng *rand.Rand, maxSteps int) (SampleResult, error) {
+	var res SampleResult
+	if !c.hasStart {
+		return res, fmt.Errorf("markov: no start state set")
+	}
+	if maxSteps <= 0 {
+		maxSteps = 1_000_000
+	}
+	state := c.start
+	for {
+		if c.absorbing[state] {
+			res.Absorbed = state
+			return res, nil
+		}
+		res.Time += c.residence[state]
+		edges := c.edges[state]
+		if len(edges) == 0 {
+			return res, fmt.Errorf("markov: transient state %q has no outgoing transitions", c.names[state])
+		}
+		r := rng.Float64()
+		acc := 0.0
+		next := edges[len(edges)-1].to
+		for _, e := range edges {
+			acc += e.prob
+			if r < acc {
+				next = e.to
+				break
+			}
+		}
+		state = next
+		res.Steps++
+		if res.Steps > maxSteps {
+			return res, fmt.Errorf("markov: walk exceeded %d steps without absorbing", maxSteps)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package moea
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/pareto"
+)
+
+// Params configures a GA run. The defaults of DefaultParams mirror §VI.A:
+// crossover probability 0.8, mutation probability 0.05, tournament size 5.
+type Params struct {
+	PopSize       int
+	Generations   int
+	CrossoverProb float64
+	MutationProb  float64
+	TournamentK   int
+	// Seed makes the run deterministic.
+	Seed int64
+	// Workers bounds parallel fitness evaluation; ≤ 0 means GOMAXPROCS.
+	Workers int
+	// ArchiveCap bounds the external non-dominated archive (0 = 256).
+	ArchiveCap int
+	// DisableConfigCrossover / DisableOrderCrossover / DisableOrderMutation
+	// switch off individual operators for ablation studies; the zero values
+	// reproduce the paper's operator set (§V.C).
+	DisableConfigCrossover bool
+	DisableOrderCrossover  bool
+	DisableOrderMutation   bool
+	// FixedOrder, when non-nil, pins every genome's scheduling order to
+	// this permutation and disables the order operators — the mode used by
+	// configuration-only searches (Eq. 5's "cross-layer-reliability only"
+	// space, where task mapping and scheduling are not degrees of freedom).
+	FixedOrder []int
+}
+
+// DefaultParams returns the evaluation configuration of the paper for a
+// given population size and generation budget.
+func DefaultParams(pop, gens int, seed int64) Params {
+	return Params{
+		PopSize:       pop,
+		Generations:   gens,
+		CrossoverProb: 0.8,
+		MutationProb:  0.05,
+		TournamentK:   5,
+		Seed:          seed,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.PopSize < 2 {
+		return fmt.Errorf("moea: population size %d must be ≥ 2", p.PopSize)
+	}
+	if p.Generations < 1 {
+		return fmt.Errorf("moea: generations %d must be ≥ 1", p.Generations)
+	}
+	if p.CrossoverProb < 0 || p.CrossoverProb > 1 {
+		return fmt.Errorf("moea: crossover probability %v outside [0,1]", p.CrossoverProb)
+	}
+	if p.MutationProb < 0 || p.MutationProb > 1 {
+		return fmt.Errorf("moea: mutation probability %v outside [0,1]", p.MutationProb)
+	}
+	if p.TournamentK < 1 {
+		return fmt.Errorf("moea: tournament size %d must be ≥ 1", p.TournamentK)
+	}
+	return nil
+}
+
+// Solution is one optimized design point returned to the caller.
+type Solution struct {
+	Genome     *Genome
+	Objectives []float64
+}
+
+// Result of a GA run.
+type Result struct {
+	// Front is the feasible non-dominated set over the whole run (the
+	// external archive), ready for hypervolume comparison.
+	Front []Solution
+	// Evaluations counts fitness evaluations performed.
+	Evaluations int
+}
+
+// FrontObjectives extracts the objective vectors of the front.
+func (r *Result) FrontObjectives() [][]float64 {
+	out := make([][]float64, len(r.Front))
+	for i, s := range r.Front {
+		out[i] = s.Objectives
+	}
+	return out
+}
+
+// Run executes the GA on the problem. seeds, if any, are injected into the
+// initial population (the directed-seeding mechanism of the proposed
+// methodology, Fig. 4(b)); they are cloned, so callers keep ownership.
+func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.NumTasks()
+	rng := rand.New(rand.NewSource(params.Seed))
+
+	// Initial population: seeds first (truncated to PopSize), then random.
+	pop := make([]*solution, 0, params.PopSize)
+	for _, s := range seeds {
+		if len(pop) >= params.PopSize {
+			break
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("moea: invalid seed: %w", err)
+		}
+		if len(s.Genes) != n {
+			return nil, fmt.Errorf("moea: seed has %d genes, want %d", len(s.Genes), n)
+		}
+		pop = append(pop, &solution{genome: s.Clone()})
+	}
+	for len(pop) < params.PopSize {
+		pop = append(pop, &solution{genome: RandomGenome(rng, p)})
+	}
+	if params.FixedOrder != nil {
+		if len(params.FixedOrder) != n {
+			return nil, fmt.Errorf("moea: fixed order has %d entries, want %d", len(params.FixedOrder), n)
+		}
+		params.DisableOrderCrossover = true
+		params.DisableOrderMutation = true
+		for _, s := range pop {
+			s.genome.Order = append([]int(nil), params.FixedOrder...)
+		}
+		if err := pop[0].genome.Validate(); err != nil {
+			return nil, fmt.Errorf("moea: invalid fixed order: %w", err)
+		}
+	}
+
+	res := &Result{}
+	evaluate(p, pop, params.Workers)
+	res.Evaluations += len(pop)
+
+	archiveCap := params.ArchiveCap
+	if archiveCap <= 0 {
+		archiveCap = 256
+	}
+	var archive []*solution
+	archive = updateArchive(archive, pop, archiveCap)
+
+	rankAndCrowd(pop)
+	for gen := 0; gen < params.Generations; gen++ {
+		// Variation: tournaments pick parents; the paper's two crossovers
+		// and two mutations produce the offspring.
+		offspring := make([]*solution, 0, params.PopSize)
+		for len(offspring) < params.PopSize {
+			a := tournament(rng, pop, params.TournamentK).genome.Clone()
+			b := tournament(rng, pop, params.TournamentK).genome.Clone()
+			if !params.DisableConfigCrossover && rng.Float64() < params.CrossoverProb {
+				crossoverConfig(rng, a, b)
+			}
+			if !params.DisableOrderCrossover && rng.Float64() < params.CrossoverProb {
+				crossoverOrder(rng, a, b)
+			}
+			for _, child := range []*Genome{a, b} {
+				for t := 0; t < n; t++ {
+					if rng.Float64() < params.MutationProb {
+						child.Genes[t] = p.MutateGene(rng, t, child.Genes[t])
+					}
+				}
+				if !params.DisableOrderMutation && rng.Float64() < params.MutationProb {
+					mutateOrder(rng, child)
+				}
+				if len(offspring) < params.PopSize {
+					offspring = append(offspring, &solution{genome: child})
+				}
+			}
+		}
+		evaluate(p, offspring, params.Workers)
+		res.Evaluations += len(offspring)
+		archive = updateArchive(archive, offspring, archiveCap)
+
+		// Environmental selection over parents ∪ offspring.
+		union := append(append([]*solution{}, pop...), offspring...)
+		next := make([]*solution, 0, params.PopSize)
+		for _, f := range nonDominatedSort(union) {
+			assignCrowding(f)
+			if len(next)+len(f) <= params.PopSize {
+				next = append(next, f...)
+				continue
+			}
+			// Partial front: keep the most crowding-distance-diverse.
+			rest := append([]*solution{}, f...)
+			sort.Slice(rest, func(i, j int) bool { return rest[i].crowd > rest[j].crowd })
+			next = append(next, rest[:params.PopSize-len(next)]...)
+			break
+		}
+		pop = next
+		rankAndCrowd(pop)
+	}
+
+	for _, s := range archive {
+		res.Front = append(res.Front, Solution{
+			Genome:     s.genome.Clone(),
+			Objectives: append([]float64(nil), s.eval.Objectives...),
+		})
+	}
+	return res, nil
+}
+
+// tournament returns the best of k randomly drawn members.
+func tournament(rng *rand.Rand, pop []*solution, k int) *solution {
+	best := pop[rng.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		c := pop[rng.Intn(len(pop))]
+		if better(c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// evaluate computes fitness for all solutions, in parallel when beneficial.
+func evaluate(p Problem, sols []*solution, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sols) {
+		workers = len(sols)
+	}
+	if workers <= 1 {
+		for _, s := range sols {
+			s.eval = p.Evaluate(s.genome)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan *solution)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range ch {
+				s.eval = p.Evaluate(s.genome)
+			}
+		}()
+	}
+	for _, s := range sols {
+		ch <- s
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// updateArchive merges the feasible members of batch into the external
+// non-dominated archive, Pareto-filters, and truncates to cap by crowding
+// distance if needed.
+func updateArchive(archive, batch []*solution, limit int) []*solution {
+	for _, s := range batch {
+		if s.eval.Violation == 0 {
+			archive = append(archive, s)
+		}
+	}
+	if len(archive) == 0 {
+		return archive
+	}
+	objs := make([][]float64, len(archive))
+	for i, s := range archive {
+		objs[i] = s.eval.Objectives
+	}
+	keep := pareto.Filter(objs)
+	filtered := make([]*solution, 0, len(keep))
+	for _, i := range keep {
+		filtered = append(filtered, archive[i])
+	}
+	if len(filtered) > limit {
+		assignCrowding(filtered)
+		sort.Slice(filtered, func(i, j int) bool { return filtered[i].crowd > filtered[j].crowd })
+		filtered = filtered[:limit]
+	}
+	return filtered
+}
+
+// rankAndCrowd refreshes ranks and crowding distances of the population so
+// the next generation's tournaments compare on current information.
+func rankAndCrowd(pop []*solution) {
+	for _, f := range nonDominatedSort(pop) {
+		assignCrowding(f)
+	}
+}
+
+// RandomSearch evaluates the given number of uniformly random genomes and
+// returns the feasible non-dominated front — the problem-agnostic sanity
+// baseline used by the ablation studies.
+func RandomSearch(p Problem, evals int, seed int64) (*Result, error) {
+	if evals < 1 {
+		return nil, fmt.Errorf("moea: random search needs at least one evaluation")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var archive []*solution
+	batch := make([]*solution, 0, 256)
+	res := &Result{}
+	for i := 0; i < evals; i++ {
+		s := &solution{genome: RandomGenome(rng, p)}
+		s.eval = p.Evaluate(s.genome)
+		batch = append(batch, s)
+		if len(batch) == cap(batch) || i == evals-1 {
+			archive = updateArchive(archive, batch, 256)
+			batch = batch[:0]
+		}
+	}
+	res.Evaluations = evals
+	for _, s := range archive {
+		res.Front = append(res.Front, Solution{
+			Genome:     s.genome.Clone(),
+			Objectives: append([]float64(nil), s.eval.Objectives...),
+		})
+	}
+	return res, nil
+}

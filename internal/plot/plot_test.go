@@ -1,0 +1,89 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	s := NewScatter(40, 10, "time", "error")
+	out := s.Render([]Series{
+		{Label: "front", Points: [][]float64{{0, 0}, {1, 1}, {0.5, 0.5}}},
+	})
+	if !strings.Contains(out, "o front (3 points)") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if strings.Count(out, "o") < 3 {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "error (vertical), time (horizontal)") {
+		t.Fatal("axis labels missing")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	s := NewScatter(40, 10, "x", "y")
+	if out := s.Render(nil); out != "(no points)\n" {
+		t.Fatalf("empty render = %q", out)
+	}
+	if out := s.Render([]Series{{Label: "e"}}); out != "(no points)\n" {
+		t.Fatalf("series without points = %q", out)
+	}
+}
+
+func TestRenderCornersLandOnEdges(t *testing.T) {
+	s := NewScatter(20, 6, "x", "y")
+	out := s.Render([]Series{
+		{Label: "a", Points: [][]float64{{0, 0}, {10, 5}}},
+	})
+	lines := strings.Split(out, "\n")
+	// First grid line (max y) should carry the top-right point.
+	if !strings.Contains(lines[1], "o") {
+		t.Fatalf("top row missing marker:\n%s", out)
+	}
+	// The min-y row carries the bottom-left point at column 0.
+	bottom := lines[6]
+	if !strings.Contains(bottom, "o") {
+		t.Fatalf("bottom row missing marker:\n%s", out)
+	}
+}
+
+func TestRenderMultipleSeriesMarkers(t *testing.T) {
+	s := NewScatter(30, 8, "x", "y")
+	out := s.Render([]Series{
+		{Label: "a", Points: [][]float64{{0, 0}}},
+		{Label: "b", Points: [][]float64{{1, 1}}},
+	})
+	if !strings.Contains(out, "o a") || !strings.Contains(out, "x b") {
+		t.Fatalf("series markers wrong:\n%s", out)
+	}
+}
+
+func TestRenderCollisionMark(t *testing.T) {
+	s := NewScatter(10, 5, "x", "y")
+	out := s.Render([]Series{
+		{Label: "a", Points: [][]float64{{0, 0}, {1, 1}}},
+		{Label: "b", Points: [][]float64{{0, 0}}},
+	})
+	if !strings.Contains(out, "?") {
+		t.Fatalf("collision marker missing:\n%s", out)
+	}
+}
+
+func TestRenderDegenerateRange(t *testing.T) {
+	// All points identical: ranges are padded, no division by zero.
+	s := NewScatter(20, 6, "x", "y")
+	out := s.Render([]Series{{Label: "a", Points: [][]float64{{5, 5}, {5, 5}}}})
+	if !strings.Contains(out, "o a (2 points)") {
+		t.Fatalf("degenerate range broke rendering:\n%s", out)
+	}
+}
+
+func TestMinimumDimensionsClamped(t *testing.T) {
+	s := NewScatter(1, 1, "x", "y")
+	if s.Width < 10 || s.Height < 5 {
+		t.Fatal("dimensions not clamped to minimum")
+	}
+	// Must not panic.
+	_ = s.Render([]Series{{Label: "a", Points: [][]float64{{0, 0}, {3, 4}}}})
+}

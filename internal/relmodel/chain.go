@@ -1,0 +1,297 @@
+package relmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/markov"
+)
+
+// ChainParams are the primitive quantities from which the Markov chains of
+// Fig. 3 are built for one task under one CLR configuration. Times are in
+// microseconds; LambdaPerUS is the effective SEU rate in 1/µs.
+type ChainParams struct {
+	// ExecTimeUS is the useful execution time of the whole task (after
+	// DVFS, HW and ASW time inflation), split evenly across the
+	// inter-checkpoint intervals.
+	ExecTimeUS float64
+	// LambdaPerUS is the post-architectural-masking SEU rate.
+	LambdaPerUS float64
+
+	// Checkpoints is the number of checkpoints (intervals = Checkpoints+1).
+	Checkpoints int
+	// IntervalFracs optionally assigns unequal fractions of ExecTimeUS to
+	// the Checkpoints+1 inter-checkpoint intervals (must be positive and
+	// sum to 1). Nil means equal intervals. The Markov formulation handles
+	// either, as §IV.A notes.
+	IntervalFracs []float64
+	// DetTimeUS is the error-detection time added to every interval.
+	DetTimeUS float64
+	// TolTimeUS is the recovery (rollback/restart) time paid per detected
+	// error.
+	TolTimeUS float64
+	// ChkTimeUS is the time to create one checkpoint.
+	ChkTimeUS float64
+
+	// MHW is the hardware-layer masking probability m_HW.
+	MHW float64
+	// MImplSSW is the implicit masking of the system-software stack.
+	MImplSSW float64
+	// CovDet is the SSW detection coverage cov_Det.
+	CovDet float64
+	// MTol is the SSW tolerance (recovery success) probability m_Tol.
+	MTol float64
+	// MASW is the application-software masking probability m_ASW.
+	MASW float64
+
+	// ModelCheckpointErrors enables the dotted-line extension of Fig. 3(b):
+	// errors during checkpoint creation itself.
+	ModelCheckpointErrors bool
+}
+
+// Validate checks the parameters' ranges.
+func (p *ChainParams) Validate() error {
+	if p.ExecTimeUS <= 0 {
+		return fmt.Errorf("relmodel: exec time %v must be positive", p.ExecTimeUS)
+	}
+	if p.LambdaPerUS < 0 {
+		return fmt.Errorf("relmodel: lambda %v must be non-negative", p.LambdaPerUS)
+	}
+	if p.Checkpoints < 0 {
+		return fmt.Errorf("relmodel: checkpoint count %d must be non-negative", p.Checkpoints)
+	}
+	if p.DetTimeUS < 0 || p.TolTimeUS < 0 || p.ChkTimeUS < 0 {
+		return fmt.Errorf("relmodel: negative overhead time")
+	}
+	if p.IntervalFracs != nil {
+		if len(p.IntervalFracs) != p.Checkpoints+1 {
+			return fmt.Errorf("relmodel: %d interval fractions for %d intervals",
+				len(p.IntervalFracs), p.Checkpoints+1)
+		}
+		sum := 0.0
+		for _, f := range p.IntervalFracs {
+			if f <= 0 {
+				return fmt.Errorf("relmodel: non-positive interval fraction %v", f)
+			}
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("relmodel: interval fractions sum to %v, want 1", sum)
+		}
+	}
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{
+		{"MHW", p.MHW}, {"MImplSSW", p.MImplSSW}, {"CovDet", p.CovDet},
+		{"MTol", p.MTol}, {"MASW", p.MASW},
+	} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("relmodel: probability %s = %v outside [0,1]", pr.name, pr.v)
+		}
+	}
+	return nil
+}
+
+// intervalExec returns the useful execution time of interval i.
+func (p *ChainParams) intervalExec(i int) float64 {
+	if p.IntervalFracs != nil {
+		return p.ExecTimeUS * p.IntervalFracs[i]
+	}
+	return p.ExecTimeUS / float64(p.Checkpoints+1)
+}
+
+// pNoError returns p_ne = e^(−λ·T_exec) for interval i.
+func (p *ChainParams) pNoError(i int) float64 {
+	return math.Exp(-p.LambdaPerUS * p.intervalExec(i))
+}
+
+// pChkError returns the probability of an error during one checkpoint
+// creation, p_Chke of Fig. 3(b).
+func (p *ChainParams) pChkError() float64 {
+	if !p.ModelCheckpointErrors {
+		return 0
+	}
+	return 1 - math.Exp(-p.LambdaPerUS*p.ChkTimeUS)
+}
+
+// BuildTimingChain constructs the absorbing Markov chain of Fig. 3(a): one
+// ExecICI / HWRel / SSWImpl / SSWDet / SSWTol / ASWRel stage per
+// inter-checkpoint interval, checkpoint-creation states between intervals,
+// and a single absorbing End state. Residence times encode T_exec + T_Det
+// on the execution states, T_Tol on the tolerance states and T_Chk on the
+// checkpoint states; the expected time to absorption is the task's average
+// execution time.
+func BuildTimingChain(p ChainParams) (*markov.Chain, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := markov.New()
+	n := p.Checkpoints + 1
+
+	end := c.AddAbsorbing("End")
+	// next[i] is the state entered after interval i completes cleanly.
+	execStates := make([]int, n)
+	for i := 0; i < n; i++ {
+		execStates[i] = c.AddState(fmt.Sprintf("ExecICI/%d", i), p.intervalExec(i)+p.DetTimeUS)
+	}
+	for i := 0; i < n; i++ {
+		pne := p.pNoError(i)
+		exec := execStates[i]
+		var next int
+		if i == n-1 {
+			next = end
+		} else {
+			chk := c.AddState(fmt.Sprintf("Chkpnt/%d", i), p.ChkTimeUS)
+			// A detected-and-tolerated error during checkpoint creation
+			// redoes the checkpoint; anything else proceeds (the failure,
+			// if any, is the functional chain's concern).
+			pRedo := p.pChkError() * p.CovDet * p.MTol
+			c.Transition(chk, chk, pRedo)
+			c.Transition(chk, execStates[i+1], 1-pRedo)
+			next = chk
+		}
+
+		hw := c.AddState(fmt.Sprintf("HWRel/%d", i), 0)
+		sswImpl := c.AddState(fmt.Sprintf("SSWImpl/%d", i), 0)
+		sswDet := c.AddState(fmt.Sprintf("SSWDet/%d", i), 0)
+		sswTol := c.AddState(fmt.Sprintf("SSWTol/%d", i), p.TolTimeUS)
+		asw := c.AddState(fmt.Sprintf("ASWRel/%d", i), 0)
+
+		c.Transition(exec, next, pne)
+		c.Transition(exec, hw, 1-pne)
+
+		c.Transition(hw, next, p.MHW)
+		c.Transition(hw, sswImpl, 1-p.MHW)
+
+		c.Transition(sswImpl, next, p.MImplSSW)
+		c.Transition(sswImpl, sswDet, 1-p.MImplSSW)
+
+		c.Transition(sswDet, sswTol, p.CovDet)
+		c.Transition(sswDet, asw, 1-p.CovDet)
+
+		// Successful tolerance rolls back to re-execute this interval;
+		// failed tolerance lets execution run on to completion (the error
+		// shows up in the functional model, not the timing model).
+		c.Transition(sswTol, exec, p.MTol)
+		c.Transition(sswTol, next, 1-p.MTol)
+
+		// The ASW layer's masking (or failure to mask) does not change the
+		// timing: information redundancy overhead is already folded into
+		// the execution time.
+		c.Transition(asw, next, 1)
+	}
+	c.SetStart(execStates[0])
+	return c, nil
+}
+
+// BuildFunctionalChain constructs the absorbing Markov chain of Fig. 3(b)
+// for the same configuration: two absorbing states, noError and Error, and
+// the absorption probability of noError is the task's functional
+// reliability. With ModelCheckpointErrors set, checkpoint-creation states
+// can themselves fail (the dotted p_Chke edge of Fig. 3(b)).
+func BuildFunctionalChain(p ChainParams) (*markov.Chain, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := markov.New()
+	n := p.Checkpoints + 1
+	pChkE := p.pChkError()
+
+	noErr := c.AddAbsorbing("noError")
+	errS := c.AddAbsorbing("Error")
+	execStates := make([]int, n)
+	for i := 0; i < n; i++ {
+		execStates[i] = c.AddState(fmt.Sprintf("ExecICI/%d", i), 0)
+	}
+	for i := 0; i < n; i++ {
+		pne := p.pNoError(i)
+		exec := execStates[i]
+		var next int
+		if i == n-1 {
+			next = noErr
+		} else {
+			chk := c.AddState(fmt.Sprintf("Chkpnt/%d", i), 0)
+			// Checkpoint-creation errors (the dotted p_Chke edge of
+			// Fig. 3(b)) are themselves subject to the SSW layer's
+			// detection and tolerance: detected-and-tolerated errors redo
+			// the checkpoint, the rest corrupt the state.
+			pRedo := pChkE * p.CovDet * p.MTol
+			c.Transition(chk, chk, pRedo)
+			c.Transition(chk, errS, pChkE-pRedo)
+			c.Transition(chk, execStates[i+1], 1-pChkE)
+			next = chk
+		}
+
+		hw := c.AddState(fmt.Sprintf("HWRel/%d", i), 0)
+		sswImpl := c.AddState(fmt.Sprintf("SSWImpl/%d", i), 0)
+		sswDet := c.AddState(fmt.Sprintf("SSWDet/%d", i), 0)
+		sswTol := c.AddState(fmt.Sprintf("SSWTol/%d", i), 0)
+		asw := c.AddState(fmt.Sprintf("ASWRel/%d", i), 0)
+
+		c.Transition(exec, next, pne)
+		c.Transition(exec, hw, 1-pne)
+
+		c.Transition(hw, next, p.MHW)
+		c.Transition(hw, sswImpl, 1-p.MHW)
+
+		c.Transition(sswImpl, next, p.MImplSSW)
+		c.Transition(sswImpl, sswDet, 1-p.MImplSSW)
+
+		c.Transition(sswDet, sswTol, p.CovDet)
+		c.Transition(sswDet, asw, 1-p.CovDet)
+
+		// Successful recovery re-executes the interval (a fresh chance of
+		// error-free completion); failed recovery is a functional error.
+		c.Transition(sswTol, exec, p.MTol)
+		c.Transition(sswTol, errS, 1-p.MTol)
+
+		// Undetected errors reach the information redundancy: masked →
+		// correct result, unmasked → wrong result.
+		c.Transition(asw, next, p.MASW)
+		c.Transition(asw, errS, 1-p.MASW)
+	}
+	c.SetStart(execStates[0])
+	return c, nil
+}
+
+// TaskReliability bundles the two chain analyses for one configuration.
+type TaskReliability struct {
+	// AvgExTimeUS is the expected execution time (timing chain).
+	AvgExTimeUS float64
+	// MinExTimeUS is the error-free execution time: all intervals plus
+	// detection overheads plus checkpoint creation, no recoveries.
+	MinExTimeUS float64
+	// ErrProb is the probability of an erroneous result (functional chain).
+	ErrProb float64
+}
+
+// AnalyzeChains builds and solves both chains of Fig. 3 for the parameters.
+func AnalyzeChains(p ChainParams) (TaskReliability, error) {
+	var out TaskReliability
+	tc, err := BuildTimingChain(p)
+	if err != nil {
+		return out, err
+	}
+	tr, err := tc.Analyze()
+	if err != nil {
+		return out, fmt.Errorf("relmodel: timing chain: %w", err)
+	}
+	fc, err := BuildFunctionalChain(p)
+	if err != nil {
+		return out, err
+	}
+	fr, err := fc.Analyze()
+	if err != nil {
+		return out, fmt.Errorf("relmodel: functional chain: %w", err)
+	}
+	pErr, ok := fc.AbsorptionProbability(fr, "Error")
+	if !ok {
+		return out, fmt.Errorf("relmodel: functional chain lacks Error state")
+	}
+	n := float64(p.Checkpoints + 1)
+	out.AvgExTimeUS = tr.ExpectedTime
+	out.MinExTimeUS = p.ExecTimeUS + n*p.DetTimeUS + float64(p.Checkpoints)*p.ChkTimeUS
+	out.ErrProb = pErr
+	return out, nil
+}

@@ -1,0 +1,150 @@
+package relmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/platform"
+)
+
+// Impl is one base implementation of a task type (§III.B): a binding to a
+// PE type together with its characterization (cycle count and power from
+// the Gem5/McPAT-style substrate) and the implicit masking of its system
+// software stack (bare-metal ≈ 0, OS-based > 0).
+type Impl struct {
+	Name string
+	// PETypeIndex is the index of the compatible PE type within the
+	// platform's Types() list.
+	PETypeIndex int
+	// Cycles is the task's cycle count on that PE type (nominal mode);
+	// execution time at f MHz is Cycles/f microseconds.
+	Cycles float64
+	// PowerW is the average power at the nominal mode, before any
+	// hardware-layer redundancy overhead.
+	PowerW float64
+	// ImplicitMasking is m_implSSW: the probability an error is masked by
+	// the system software stack of this implementation (state SSWImpl).
+	ImplicitMasking float64
+	// FootprintKB is the resident local-memory footprint of the
+	// implementation in kilobytes, before any CLR-induced inflation
+	// (storage constraint extension; zero = negligible).
+	FootprintKB float64
+}
+
+// Validate checks the implementation's parameters.
+func (im *Impl) Validate() error {
+	if im.Cycles <= 0 {
+		return fmt.Errorf("relmodel: impl %q cycles %v must be positive", im.Name, im.Cycles)
+	}
+	if im.PowerW <= 0 {
+		return fmt.Errorf("relmodel: impl %q power %v must be positive", im.Name, im.PowerW)
+	}
+	if im.ImplicitMasking < 0 || im.ImplicitMasking >= 1 {
+		return fmt.Errorf("relmodel: impl %q implicit masking %v outside [0,1)", im.Name, im.ImplicitMasking)
+	}
+	if im.PETypeIndex < 0 {
+		return fmt.Errorf("relmodel: impl %q has negative PE type index", im.Name)
+	}
+	if im.FootprintKB < 0 {
+		return fmt.Errorf("relmodel: impl %q has negative footprint", im.Name)
+	}
+	return nil
+}
+
+// EffectiveFootprintKB returns the local-memory footprint of the
+// implementation under the given CLR assignment: the base footprint
+// inflated by the information redundancy's memory factor, plus checkpoint
+// storage.
+func EffectiveFootprintKB(impl Impl, asg Assignment, cat *Catalog) float64 {
+	asw := cat.ASW[asg.ASW]
+	ssw := cat.SSW[asg.SSW]
+	mf := asw.MemFactor
+	if mf == 0 {
+		mf = 1
+	}
+	fp := impl.FootprintKB * mf
+	fp += float64(ssw.Checkpoints) * ssw.CheckpointMemFrac * impl.FootprintKB
+	return fp
+}
+
+// Metrics are the task-level performance metrics of TABLE II for one
+// (implementation, CLR configuration, PE type) combination.
+type Metrics struct {
+	// EtaHours is the Weibull scale parameter η(t,i) — the aging-stress
+	// indicator, a function of the thermal profile of the configuration.
+	EtaHours float64
+	// MinExTimeUS is the minimum (error-free) execution time.
+	MinExTimeUS float64
+	// AvgExTimeUS is the average execution time from the timing chain.
+	AvgExTimeUS float64
+	// ErrProb is the probability of an error surviving the CLR stack.
+	ErrProb float64
+	// MTTFHours is η·Γ(1+1/β) on the hosting PE type at this thermal
+	// profile.
+	MTTFHours float64
+	// PowerW is the average power dissipation.
+	PowerW float64
+	// EnergyUJ is AvgExTimeUS × PowerW (microjoules).
+	EnergyUJ float64
+	// TempC is the steady-state temperature of the thermal model.
+	TempC float64
+}
+
+// Evaluate computes the task-level metrics of TABLE II for implementation
+// impl running on PE type pt under assignment asg (DVFS mode + one method
+// per layer from cat). The functional and timing figures come from the
+// Markov chains of Fig. 3; power, temperature, η and MTTF from the
+// first-order physical models in the platform package.
+func Evaluate(impl Impl, asg Assignment, pt *platform.PEType, cat *Catalog) (Metrics, error) {
+	var out Metrics
+	if err := impl.Validate(); err != nil {
+		return out, err
+	}
+	if err := asg.CheckAgainst(cat, len(pt.Modes)); err != nil {
+		return out, err
+	}
+	hw := cat.HW[asg.HW]
+	ssw := cat.SSW[asg.SSW]
+	asw := cat.ASW[asg.ASW]
+
+	freq := pt.Modes[asg.Mode].FreqMHz
+	execUS := impl.Cycles / freq * hw.TimeFactor * asw.TimeFactor
+	n := float64(ssw.Checkpoints + 1)
+	params := ChainParams{
+		ExecTimeUS:            execUS,
+		LambdaPerUS:           pt.SEURate(asg.Mode) / 1e6,
+		Checkpoints:           ssw.Checkpoints,
+		DetTimeUS:             ssw.DetectionTimeFrac * execUS / n,
+		TolTimeUS:             ssw.ToleranceTimeFrac * execUS / n,
+		ChkTimeUS:             ssw.CheckpointTimeFrac * execUS,
+		MHW:                   hw.Masking,
+		MImplSSW:              impl.ImplicitMasking,
+		CovDet:                ssw.DetectionCoverage,
+		MTol:                  ssw.ToleranceCoverage,
+		MASW:                  asw.Masking,
+		ModelCheckpointErrors: true,
+	}
+	rel, err := AnalyzeChains(params)
+	if err != nil {
+		return out, fmt.Errorf("relmodel: evaluating %q: %w", impl.Name, err)
+	}
+
+	power := impl.PowerW * pt.PowerScale(asg.Mode) * hw.PowerFactor
+	temp := pt.SteadyTempC(power)
+	eta := pt.EtaHours(temp)
+
+	out = Metrics{
+		EtaHours:    eta,
+		MinExTimeUS: rel.MinExTimeUS,
+		AvgExTimeUS: rel.AvgExTimeUS,
+		ErrProb:     rel.ErrProb,
+		MTTFHours:   eta * math.Gamma(1+1/pt.WeibullBeta),
+		PowerW:      power,
+		EnergyUJ:    rel.AvgExTimeUS * power,
+		TempC:       temp,
+	}
+	return out, nil
+}
+
+// Reliability returns the functional reliability F_t = 1 − ErrProb.
+func (m Metrics) Reliability() float64 { return 1 - m.ErrProb }

@@ -1,0 +1,236 @@
+// Package scenario implements exploration across varying operating
+// conditions — the motivation the paper opens with (§I: stricter QoS
+// requirements in varying operating conditions, e.g. strongly elevated
+// fault rates at high altitude) and the setting of the authors' companion
+// work on dynamic cross-layer reliability (ref. [15]).
+//
+// A Scenario scales the platform's raw fault rates; a Study runs the
+// CL(R)Early DSE once per scenario and compares two deployment policies:
+//
+//   - static: one mapping, designed for the worst-case scenario, used
+//     everywhere;
+//   - adaptive: a runtime manager switches to the scenario's own
+//     Pareto-optimal mapping whenever the environment changes.
+//
+// Both policies are held to the same reliability target (the static
+// design's worst-case error probability); the adaptive policy then wins on
+// expected makespan because mild environments need less mitigation.
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/tdse"
+)
+
+// Scenario is one operating condition.
+type Scenario struct {
+	Name string
+	// FaultRateFactor multiplies the platform's raw SEU rates (1 = the
+	// characterized baseline environment).
+	FaultRateFactor float64
+	// Weight is the fraction of mission time spent in this scenario.
+	Weight float64
+}
+
+// Set is a weighted collection of operating conditions.
+type Set []Scenario
+
+// Validate checks factors and weights (weights must sum to 1).
+func (s Set) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("scenario: empty set")
+	}
+	sum := 0.0
+	for _, sc := range s {
+		if sc.FaultRateFactor <= 0 {
+			return fmt.Errorf("scenario: %q has non-positive fault-rate factor", sc.Name)
+		}
+		if sc.Weight < 0 {
+			return fmt.Errorf("scenario: %q has negative weight", sc.Name)
+		}
+		sum += sc.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("scenario: weights sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// Worst returns the index of the scenario with the highest fault rate.
+func (s Set) Worst() int {
+	w := 0
+	for i := range s {
+		if s[i].FaultRateFactor > s[w].FaultRateFactor {
+			w = i
+		}
+	}
+	return w
+}
+
+// DefaultSet models a mission profile with three environments: ground
+// operation, cruise altitude and a high-radiation segment.
+func DefaultSet() Set {
+	return Set{
+		{Name: "ground", FaultRateFactor: 1, Weight: 0.60},
+		{Name: "cruise", FaultRateFactor: 4, Weight: 0.35},
+		{Name: "high-radiation", FaultRateFactor: 12, Weight: 0.05},
+	}
+}
+
+// ScalePlatform returns a deep copy of the platform with every PE type's
+// raw SEU rate multiplied by factor. Aging, thermal and DVFS models are
+// unchanged — only the radiation environment differs.
+func ScalePlatform(p *platform.Platform, factor float64) (*platform.Platform, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("scenario: fault-rate factor %v must be positive", factor)
+	}
+	types := p.Types()
+	newTypes := make([]*platform.PEType, len(types))
+	counts := make([]int, len(types))
+	for i, t := range types {
+		clone := *t
+		clone.Modes = append([]platform.DVFSMode(nil), t.Modes...)
+		clone.BaseSEURatePerSec = t.BaseSEURatePerSec * factor
+		newTypes[i] = &clone
+		counts[i] = len(p.PEsOfType(t))
+	}
+	return platform.New(newTypes, counts)
+}
+
+// scaleInstance clones the instance onto a scaled platform. The library is
+// reused: implementations characterize cycles/power, which do not depend on
+// the radiation environment.
+func scaleInstance(inst *core.Instance, factor float64) (*core.Instance, error) {
+	p, err := ScalePlatform(inst.Platform, factor)
+	if err != nil {
+		return nil, err
+	}
+	out := *inst
+	out.Platform = p
+	return &out, nil
+}
+
+// PolicyOutcome summarizes one deployment policy over the scenario set.
+type PolicyOutcome struct {
+	// PerScenario holds the (makespan µs, error probability) achieved in
+	// each scenario.
+	PerScenario []Point
+	// ExpMakespanUS and ExpErrProb are the weight-averaged metrics.
+	ExpMakespanUS, ExpErrProb float64
+}
+
+// Point is one scenario's operating point.
+type Point struct {
+	Scenario   string
+	MakespanUS float64
+	ErrProb    float64
+}
+
+// StudyResult compares the static worst-case design against the adaptive
+// per-scenario policy.
+type StudyResult struct {
+	Set Set
+	// Fronts are the per-scenario Pareto fronts from the proposed DSE.
+	Fronts []*core.Front
+	// ReliabilityTarget is the error-probability ceiling both policies
+	// must satisfy in every scenario.
+	ReliabilityTarget float64
+	Static, Adaptive  PolicyOutcome
+}
+
+// Study runs the proposed DSE per scenario and evaluates both policies.
+// The reliability target is the static design's worst-case error
+// probability, so the comparison is makespan-for-equal-reliability.
+// tdseObjectives select the task-level Pareto filter; the filtered library
+// is rebuilt per scenario because task-level metrics depend on the
+// operating environment's fault rate.
+func Study(inst *core.Instance, cfg core.RunConfig, tdseObjectives []tdse.Objective, set Set) (*StudyResult, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	res := &StudyResult{Set: set}
+
+	// Per-scenario DSE.
+	insts := make([]*core.Instance, len(set))
+	for i, sc := range set {
+		scaled, err := scaleInstance(inst, sc.FaultRateFactor)
+		if err != nil {
+			return nil, err
+		}
+		insts[i] = scaled
+		flib, err := tdse.Build(scaled.Lib, scaled.Platform, scaled.Catalog,
+			tdse.DefaultOptions(), tdseObjectives)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: task-level DSE: %w", sc.Name, err)
+		}
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*101
+		front, err := core.Proposed(scaled, c, flib)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		if len(front.Points) == 0 {
+			return nil, fmt.Errorf("scenario %q: empty front", sc.Name)
+		}
+		res.Fronts = append(res.Fronts, front)
+	}
+
+	// Static policy: the most reliable mapping of the worst-case front.
+	worst := set.Worst()
+	staticPt := res.Fronts[worst].Points[0]
+	for _, p := range res.Fronts[worst].Points {
+		if p.QoS.ErrProb < staticPt.QoS.ErrProb {
+			staticPt = p
+		}
+	}
+	res.ReliabilityTarget = staticPt.QoS.ErrProb
+
+	// Evaluate the static mapping under every scenario.
+	staticUnder := make([]*schedule.Result, len(set))
+	for i := range set {
+		q, err := core.EvaluateMapping(insts[i], staticPt.Genome)
+		if err != nil {
+			return nil, err
+		}
+		staticUnder[i] = q
+		res.Static.PerScenario = append(res.Static.PerScenario, Point{
+			Scenario: set[i].Name, MakespanUS: q.MakespanUS, ErrProb: q.ErrProb,
+		})
+		res.Static.ExpMakespanUS += set[i].Weight * q.MakespanUS
+		res.Static.ExpErrProb += set[i].Weight * q.ErrProb
+	}
+
+	// Adaptive policy: per scenario, the fastest point meeting the target;
+	// the static mapping is always a fallback candidate, so the adaptive
+	// policy can never do worse than static.
+	for i := range set {
+		bestMk := staticUnder[i].MakespanUS
+		bestErr := staticUnder[i].ErrProb
+		for _, p := range res.Fronts[i].Points {
+			if p.QoS.ErrProb <= res.ReliabilityTarget && p.QoS.MakespanUS < bestMk {
+				bestMk = p.QoS.MakespanUS
+				bestErr = p.QoS.ErrProb
+			}
+		}
+		res.Adaptive.PerScenario = append(res.Adaptive.PerScenario, Point{
+			Scenario: set[i].Name, MakespanUS: bestMk, ErrProb: bestErr,
+		})
+		res.Adaptive.ExpMakespanUS += set[i].Weight * bestMk
+		res.Adaptive.ExpErrProb += set[i].Weight * bestErr
+	}
+	return res, nil
+}
+
+// SpeedupPct returns the expected-makespan advantage of the adaptive policy
+// in percent.
+func (r *StudyResult) SpeedupPct() float64 {
+	if r.Adaptive.ExpMakespanUS == 0 {
+		return 0
+	}
+	return 100 * (r.Static.ExpMakespanUS - r.Adaptive.ExpMakespanUS) / r.Adaptive.ExpMakespanUS
+}

@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/characterize"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/relmodel"
+	"repro/internal/tdse"
+	"repro/internal/tgff"
+)
+
+func TestSetValidate(t *testing.T) {
+	if err := DefaultSet().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Set{
+		{},
+		{{Name: "a", FaultRateFactor: 0, Weight: 1}},
+		{{Name: "a", FaultRateFactor: 1, Weight: -1}, {Name: "b", FaultRateFactor: 1, Weight: 2}},
+		{{Name: "a", FaultRateFactor: 1, Weight: 0.5}}, // weights sum 0.5
+	}
+	for i, s := range bads {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestWorst(t *testing.T) {
+	s := DefaultSet()
+	if s[s.Worst()].Name != "high-radiation" {
+		t.Fatalf("Worst = %q", s[s.Worst()].Name)
+	}
+}
+
+func TestScalePlatform(t *testing.T) {
+	p := platform.Default()
+	scaled, err := ScalePlatform(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.NumPEs() != p.NumPEs() || len(scaled.Types()) != len(p.Types()) {
+		t.Fatal("scaled platform shape changed")
+	}
+	for i, tp := range scaled.Types() {
+		orig := p.Types()[i]
+		if tp.BaseSEURatePerSec != orig.BaseSEURatePerSec*10 {
+			t.Fatal("fault rate not scaled")
+		}
+		if tp.EtaRefHours != orig.EtaRefHours || tp.WeibullBeta != orig.WeibullBeta {
+			t.Fatal("aging parameters must not change with the environment")
+		}
+	}
+	// The original platform must be untouched.
+	if p.Types()[0].BaseSEURatePerSec == scaled.Types()[0].BaseSEURatePerSec {
+		t.Fatal("ScalePlatform mutated the original")
+	}
+	if _, err := ScalePlatform(p, 0); err == nil {
+		t.Fatal("zero factor accepted")
+	}
+}
+
+func TestScaledEnvironmentRaisesTaskError(t *testing.T) {
+	p := platform.Default()
+	scaled, err := ScalePlatform(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := characterize.Sobel(p)
+	cat := relmodel.DefaultCatalog()
+	im := lib.Impls(0)[0]
+	base, err := relmodel.Evaluate(im, relmodel.Assignment{}, p.Types()[0], cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	harsh, err := relmodel.Evaluate(im, relmodel.Assignment{}, scaled.Types()[0], cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(harsh.ErrProb > base.ErrProb) {
+		t.Fatalf("harsh environment should raise error probability: %v vs %v",
+			harsh.ErrProb, base.ErrProb)
+	}
+}
+
+func studyFixture(t *testing.T) *core.Instance {
+	t.Helper()
+	p := platform.Default()
+	return &core.Instance{
+		Graph:      tgff.MustGenerate(tgff.DefaultConfig(10), 3),
+		Platform:   p,
+		Lib:        characterize.Synthetic(p, characterize.DefaultSyntheticConfig(10), 4),
+		Catalog:    relmodel.DefaultCatalog(),
+		Objectives: core.DefaultObjectives(),
+	}
+}
+
+var studyObjectives = []tdse.Objective{tdse.AvgExT, tdse.ErrProb}
+
+func TestStudyAdaptiveNeverWorse(t *testing.T) {
+	inst := studyFixture(t)
+	res, err := Study(inst, core.RunConfig{Pop: 20, Gens: 8, Seed: 5}, studyObjectives, DefaultSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fronts) != 3 {
+		t.Fatalf("want 3 fronts, got %d", len(res.Fronts))
+	}
+	// Both policies meet the reliability target in every scenario.
+	for i, pt := range res.Adaptive.PerScenario {
+		if pt.ErrProb > res.ReliabilityTarget+1e-12 {
+			t.Fatalf("adaptive violates target in %q: %v > %v",
+				pt.Scenario, pt.ErrProb, res.ReliabilityTarget)
+		}
+		// The static fallback guarantees adaptive is at least as fast.
+		if pt.MakespanUS > res.Static.PerScenario[i].MakespanUS+1e-9 {
+			t.Fatalf("adaptive slower than static in %q", pt.Scenario)
+		}
+	}
+	if res.Adaptive.ExpMakespanUS > res.Static.ExpMakespanUS+1e-9 {
+		t.Fatal("adaptive expected makespan exceeds static")
+	}
+	if res.SpeedupPct() < 0 {
+		t.Fatalf("negative speedup: %v", res.SpeedupPct())
+	}
+}
+
+func TestStudyRejectsBadSet(t *testing.T) {
+	inst := studyFixture(t)
+	if _, err := Study(inst, core.RunConfig{Pop: 10, Gens: 2, Seed: 1}, studyObjectives, Set{}); err == nil {
+		t.Fatal("empty scenario set accepted")
+	}
+}

@@ -1,0 +1,175 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+func commChain() *taskgraph.Graph {
+	b := taskgraph.NewBuilder("comm", 1e4)
+	b.AddTask("a", 0, 1)
+	b.AddTask("b", 0, 1)
+	b.AddEdgeData(0, 1, 32) // 32 KB between the tasks
+	return b.MustBuild()
+}
+
+func TestCommDelayModel(t *testing.T) {
+	c := CommModel{StartupUS: 5, PerKBUS: 0.5}
+	if got := c.Delay(32); math.Abs(got-21) > 1e-12 {
+		t.Fatalf("Delay(32KB) = %v, want 21", got)
+	}
+	if got := (CommModel{}).Delay(32); got != 0 {
+		t.Fatalf("zero model should be free, got %v", got)
+	}
+}
+
+func TestCrossPECommunicationDelays(t *testing.T) {
+	g := commChain()
+	p := platform.Default()
+	dec := []TaskDecision{
+		{PE: 0, Metrics: metrics(100, 1, 1e5, 0)},
+		{PE: 1, Metrics: metrics(100, 1, 1e5, 0)},
+	}
+	comm := CommModel{StartupUS: 5, PerKBUS: 0.5}
+	res, err := RunWithComm(g, p, []int{0, 1}, dec, comm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b starts after a (100) plus 5 + 0.5·32 = 21 µs of transfer.
+	if math.Abs(res.StartUS[1]-121) > 1e-12 {
+		t.Fatalf("b started at %v, want 121", res.StartUS[1])
+	}
+	if math.Abs(res.MakespanUS-221) > 1e-12 {
+		t.Fatalf("makespan %v, want 221", res.MakespanUS)
+	}
+}
+
+func TestSamePECommunicationFree(t *testing.T) {
+	g := commChain()
+	p := platform.Default()
+	dec := []TaskDecision{
+		{PE: 0, Metrics: metrics(100, 1, 1e5, 0)},
+		{PE: 0, Metrics: metrics(100, 1, 1e5, 0)},
+	}
+	comm := CommModel{StartupUS: 5, PerKBUS: 0.5}
+	res, err := RunWithComm(g, p, []int{0, 1}, dec, comm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StartUS[1] != 100 {
+		t.Fatalf("same-PE successor started at %v, want 100 (no transfer)", res.StartUS[1])
+	}
+}
+
+func TestZeroCommMatchesRun(t *testing.T) {
+	g := commChain()
+	p := platform.Default()
+	dec := []TaskDecision{
+		{PE: 0, Metrics: metrics(100, 1, 1e5, 0.01)},
+		{PE: 1, Metrics: metrics(150, 2, 2e5, 0.02)},
+	}
+	a, err := Run(g, p, []int{0, 1}, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWithComm(g, p, []int{0, 1}, dec, CommModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MakespanUS != b.MakespanUS || a.ErrProb != b.ErrProb || a.EnergyUJ != b.EnergyUJ {
+		t.Fatal("zero comm model must reproduce Run exactly")
+	}
+}
+
+func TestCommMakesLocalityAttractive(t *testing.T) {
+	// With heavy communication, placing both tasks on one PE beats
+	// splitting them; the DSE relies on this gradient.
+	g := commChain()
+	p := platform.Default()
+	heavy := CommModel{StartupUS: 10, PerKBUS: 2}
+	split := []TaskDecision{
+		{PE: 0, Metrics: metrics(100, 1, 1e5, 0)},
+		{PE: 1, Metrics: metrics(100, 1, 1e5, 0)},
+	}
+	local := []TaskDecision{
+		{PE: 0, Metrics: metrics(100, 1, 1e5, 0)},
+		{PE: 0, Metrics: metrics(100, 1, 1e5, 0)},
+	}
+	rs, err := RunWithComm(g, p, []int{0, 1}, split, heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := RunWithComm(g, p, []int{0, 1}, local, heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rl.MakespanUS < rs.MakespanUS) {
+		t.Fatalf("locality should win under heavy comm: local %v vs split %v",
+			rl.MakespanUS, rs.MakespanUS)
+	}
+}
+
+func TestPEMemKBAccumulation(t *testing.T) {
+	g := commChain()
+	p := platform.Default()
+	dec := []TaskDecision{
+		{PE: 0, Metrics: metrics(100, 1, 1e5, 0), MemKB: 120},
+		{PE: 0, Metrics: metrics(100, 1, 1e5, 0), MemKB: 80},
+	}
+	res, err := Run(g, p, []int{0, 1}, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PEMemKB[0] != 200 {
+		t.Fatalf("PE0 memory %v, want 200", res.PEMemKB[0])
+	}
+	if res.PEMemKB[1] != 0 {
+		t.Fatalf("PE1 memory %v, want 0", res.PEMemKB[1])
+	}
+}
+
+func TestNegativeMemRejected(t *testing.T) {
+	g := commChain()
+	p := platform.Default()
+	dec := []TaskDecision{
+		{PE: 0, Metrics: metrics(100, 1, 1e5, 0), MemKB: -5},
+		{PE: 0, Metrics: metrics(100, 1, 1e5, 0)},
+	}
+	if _, err := Run(g, p, []int{0, 1}, dec); err == nil {
+		t.Fatal("negative footprint accepted")
+	}
+}
+
+func TestMemoryViolations(t *testing.T) {
+	g := commChain()
+	p := platform.Default()
+	// Default platform: processor types have 512 KB local memory.
+	dec := []TaskDecision{
+		{PE: 0, Metrics: metrics(100, 1, 1e5, 0), MemKB: 400},
+		{PE: 0, Metrics: metrics(100, 1, 1e5, 0), MemKB: 368},
+	}
+	res, err := Run(g, p, []int{0, 1}, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := MemoryViolations(res, p)
+	if len(v) != 1 {
+		t.Fatalf("want 1 violation, got %v", v)
+	}
+	// 768/512 − 1 = 0.5.
+	if math.Abs(v[0]-0.5) > 1e-12 {
+		t.Fatalf("violation %v, want 0.5", v[0])
+	}
+	// Within capacity: no violations.
+	dec[1].MemKB = 100
+	res, err = Run(g, p, []int{0, 1}, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := MemoryViolations(res, p); len(v) != 0 {
+		t.Fatalf("unexpected violations %v", v)
+	}
+}

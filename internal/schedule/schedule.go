@@ -1,0 +1,287 @@
+// Package schedule implements the system-level QoS estimation of §III.D of
+// the paper: a list scheduler that turns a task ordering plus per-task
+// (PE binding, task-level metrics) decisions into an execution schedule, and
+// the estimators of TABLE III on top of it — average makespan (Eq. 1),
+// lifetime reliability as system MTTF via Weibull damage accumulation
+// (Eq. 2), criticality-weighted functional reliability (Eq. 3), and peak
+// power / energy (Eq. 4).
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/platform"
+	"repro/internal/relmodel"
+	"repro/internal/taskgraph"
+)
+
+// CommModel is the optional interconnect model of the communication-aware
+// scheduling extension (the paper's stated future work): transferring the
+// data of a dependency edge between tasks placed on *different* PEs costs
+// StartupUS plus PerKBUS per kilobyte on the shared interconnect; same-PE
+// communication goes through local memory and is free. The zero value
+// disables communication delays, reproducing the paper's behavior.
+type CommModel struct {
+	StartupUS float64
+	PerKBUS   float64
+}
+
+// Delay returns the transfer delay of dataKB between distinct PEs.
+func (c CommModel) Delay(dataKB float64) float64 {
+	if c.StartupUS == 0 && c.PerKBUS == 0 {
+		return 0
+	}
+	return c.StartupUS + c.PerKBUS*dataKB
+}
+
+// enabled reports whether the model introduces any delay.
+func (c CommModel) enabled() bool { return c.StartupUS != 0 || c.PerKBUS != 0 }
+
+// TaskDecision carries the design decisions and resulting task-level
+// metrics for one task: which PE executes it and the TABLE II metrics of
+// the chosen (implementation, CLR configuration) on that PE's type.
+type TaskDecision struct {
+	PE      int
+	Metrics relmodel.Metrics
+	// MemKB is the task's resident local-memory footprint on its PE
+	// (storage constraint extension; zero = negligible).
+	MemKB float64
+}
+
+// Result is the evaluated schedule with the system-level QoS metrics.
+type Result struct {
+	// StartUS and EndUS are the average start (SST) and end (SET) times of
+	// each task, in microseconds.
+	StartUS, EndUS []float64
+	// MakespanUS is S_app = max SET (Eq. 1).
+	MakespanUS float64
+	// FunctionalRel is F_app = Σ F_t·ζ_t (Eq. 3).
+	FunctionalRel float64
+	// ErrProb is 1 − F_app, the "application error probability" plotted in
+	// the paper's figures.
+	ErrProb float64
+	// MTTFHours is L_app = min over PEs of MTTF_p (Eq. 2).
+	MTTFHours float64
+	// PeakPowerW is W_app (Eq. 4).
+	PeakPowerW float64
+	// EnergyUJ is J_app = Σ AvgExT_t · W_t (Eq. 4).
+	EnergyUJ float64
+	// PEBusyUS is the accumulated busy time per PE over one period.
+	PEBusyUS []float64
+	// PEMemKB is the accumulated resident footprint per PE.
+	PEMemKB []float64
+}
+
+// Run list-schedules the application on the platform. priority is a
+// permutation of task IDs giving scheduling preference (the individual's
+// gene order); tasks become eligible when all predecessors finished, and
+// among eligible tasks the one earliest in priority order is placed next,
+// on its decided PE, at the earliest time both the PE and its inputs allow.
+func Run(g *taskgraph.Graph, p *platform.Platform, priority []int, decisions []TaskDecision) (*Result, error) {
+	return RunWithComm(g, p, priority, decisions, CommModel{})
+}
+
+// RunWithComm is Run with the communication-aware extension enabled: a
+// task's inputs arrive from each predecessor at the predecessor's end time
+// plus the interconnect delay of the edge when the two tasks sit on
+// different PEs.
+func RunWithComm(g *taskgraph.Graph, p *platform.Platform, priority []int, decisions []TaskDecision, comm CommModel) (*Result, error) {
+	n := g.NumTasks()
+	if len(priority) != n {
+		return nil, fmt.Errorf("schedule: priority has %d entries, want %d", len(priority), n)
+	}
+	if len(decisions) != n {
+		return nil, fmt.Errorf("schedule: decisions has %d entries, want %d", len(decisions), n)
+	}
+	seen := make([]bool, n)
+	for _, t := range priority {
+		if t < 0 || t >= n || seen[t] {
+			return nil, fmt.Errorf("schedule: priority is not a permutation of task IDs")
+		}
+		seen[t] = true
+	}
+	for t, d := range decisions {
+		if d.PE < 0 || d.PE >= p.NumPEs() {
+			return nil, fmt.Errorf("schedule: task %d mapped to unknown PE %d", t, d.PE)
+		}
+		if d.Metrics.AvgExTimeUS <= 0 {
+			return nil, fmt.Errorf("schedule: task %d has non-positive execution time", t)
+		}
+	}
+
+	// Per-task predecessor edge data volumes for the communication model.
+	edgeKB := map[[2]int]float64{}
+	if comm.enabled() {
+		for _, e := range g.Edges() {
+			edgeKB[[2]int{e.From, e.To}] = e.DataKB
+		}
+	}
+
+	res := &Result{
+		StartUS:  make([]float64, n),
+		EndUS:    make([]float64, n),
+		PEBusyUS: make([]float64, p.NumPEs()),
+		PEMemKB:  make([]float64, p.NumPEs()),
+	}
+	for t, d := range decisions {
+		if d.MemKB < 0 {
+			return nil, fmt.Errorf("schedule: task %d has negative footprint", t)
+		}
+		res.PEMemKB[d.PE] += d.MemKB
+	}
+	peFree := make([]float64, p.NumPEs())
+	done := make([]bool, n)
+	scheduled := 0
+	for scheduled < n {
+		progress := false
+		for _, t := range priority {
+			if done[t] {
+				continue
+			}
+			ready := true
+			readyAt := 0.0
+			for _, pr := range g.Preds(t) {
+				if !done[pr] {
+					ready = false
+					break
+				}
+				at := res.EndUS[pr]
+				if comm.enabled() && decisions[pr].PE != decisions[t].PE {
+					at += comm.Delay(edgeKB[[2]int{pr, t}])
+				}
+				if at > readyAt {
+					readyAt = at
+				}
+			}
+			if !ready {
+				continue
+			}
+			d := decisions[t]
+			start := math.Max(readyAt, peFree[d.PE])
+			end := start + d.Metrics.AvgExTimeUS
+			res.StartUS[t] = start
+			res.EndUS[t] = end
+			peFree[d.PE] = end
+			res.PEBusyUS[d.PE] += d.Metrics.AvgExTimeUS
+			done[t] = true
+			scheduled++
+			progress = true
+			break
+		}
+		if !progress {
+			// Unreachable for valid DAGs: some task always becomes ready.
+			return nil, fmt.Errorf("schedule: deadlock — no eligible task (cyclic dependencies?)")
+		}
+	}
+
+	// Eq. 1 — average makespan.
+	for _, e := range res.EndUS {
+		if e > res.MakespanUS {
+			res.MakespanUS = e
+		}
+	}
+
+	// Eq. 3 — criticality-weighted functional reliability.
+	zeta := g.NormalizedCriticality()
+	for t := 0; t < n; t++ {
+		res.FunctionalRel += (1 - decisions[t].Metrics.ErrProb) * zeta[t]
+	}
+	res.ErrProb = 1 - res.FunctionalRel
+
+	// Eq. 2 — lifetime reliability: damage accumulation per period on each
+	// PE, system MTTF is the minimum over loaded PEs.
+	res.MTTFHours = math.Inf(1)
+	damage := make([]float64, p.NumPEs()) // Σ AvgExT_t / MTTF_(t,i,p), µs/hour
+	for t := 0; t < n; t++ {
+		d := decisions[t]
+		damage[d.PE] += d.Metrics.AvgExTimeUS / d.Metrics.MTTFHours
+	}
+	for pe := range damage {
+		if damage[pe] == 0 {
+			continue
+		}
+		mttf := g.PeriodUS / damage[pe]
+		if mttf < res.MTTFHours {
+			res.MTTFHours = mttf
+		}
+	}
+
+	// Eq. 4 — peak power over the schedule and total energy.
+	type event struct {
+		at    float64
+		delta float64
+	}
+	events := make([]event, 0, 2*n)
+	for t := 0; t < n; t++ {
+		w := decisions[t].Metrics.PowerW
+		events = append(events,
+			event{at: res.StartUS[t], delta: w},
+			event{at: res.EndUS[t], delta: -w},
+		)
+		res.EnergyUJ += decisions[t].Metrics.AvgExTimeUS * w
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		// Process releases before acquisitions at equal instants so
+		// back-to-back tasks on one PE do not double-count.
+		return events[i].delta < events[j].delta
+	})
+	cur := 0.0
+	for _, e := range events {
+		cur += e.delta
+		if cur > res.PeakPowerW {
+			res.PeakPowerW = cur
+		}
+	}
+	return res, nil
+}
+
+// Spec is the set of QoS constraints of Eq. 5. Zero values mean
+// "unconstrained".
+type Spec struct {
+	MaxMakespanUS    float64 // S_SPEC
+	MinFunctionalRel float64 // F_SPEC
+	MinMTTFHours     float64 // L_SPEC
+	MaxEnergyUJ      float64 // J_SPEC
+	MaxPeakPowerW    float64 // W_SPEC
+}
+
+// Violations returns a description of each constraint the result violates;
+// empty means the design point is feasible.
+func (s Spec) Violations(r *Result) []string {
+	var out []string
+	if s.MaxMakespanUS > 0 && r.MakespanUS > s.MaxMakespanUS {
+		out = append(out, fmt.Sprintf("makespan %.4g > %.4g µs", r.MakespanUS, s.MaxMakespanUS))
+	}
+	if s.MinFunctionalRel > 0 && r.FunctionalRel < s.MinFunctionalRel {
+		out = append(out, fmt.Sprintf("functional reliability %.6g < %.6g", r.FunctionalRel, s.MinFunctionalRel))
+	}
+	if s.MinMTTFHours > 0 && r.MTTFHours < s.MinMTTFHours {
+		out = append(out, fmt.Sprintf("MTTF %.4g < %.4g hours", r.MTTFHours, s.MinMTTFHours))
+	}
+	if s.MaxEnergyUJ > 0 && r.EnergyUJ > s.MaxEnergyUJ {
+		out = append(out, fmt.Sprintf("energy %.4g > %.4g µJ", r.EnergyUJ, s.MaxEnergyUJ))
+	}
+	if s.MaxPeakPowerW > 0 && r.PeakPowerW > s.MaxPeakPowerW {
+		out = append(out, fmt.Sprintf("peak power %.4g > %.4g W", r.PeakPowerW, s.MaxPeakPowerW))
+	}
+	return out
+}
+
+// MemoryViolations returns per-PE overflow fractions against the platform's
+// local memory capacities: for each PE whose resident footprint exceeds its
+// type's LocalMemKB (when set), usage/capacity − 1. Empty means feasible.
+func MemoryViolations(r *Result, p *platform.Platform) []float64 {
+	var out []float64
+	for pe, used := range r.PEMemKB {
+		cap := p.PEs[pe].Type.LocalMemKB
+		if cap > 0 && used > cap {
+			out = append(out, used/cap-1)
+		}
+	}
+	return out
+}

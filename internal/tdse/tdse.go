@@ -1,0 +1,263 @@
+// Package tdse implements the task-level design space exploration of the
+// paper (tDSE, §IV and §VI.B): exhaustive enumeration of a task type's
+// CLR-integrated implementations — base implementation × DVFS mode × one
+// method per reliability layer — evaluation of each candidate through the
+// Markov-chain reliability models, and Pareto filtering under configurable
+// task-level objective sets (the rows of TABLE IV).
+//
+// Pareto filtering is performed per PE type: an implementation bound to PE
+// type A can never substitute for one bound to PE type B during task
+// mapping, so dominance is only meaningful within one PE type. This matches
+// TABLE IV row I, where a single-objective filter still leaves one point
+// per compatible PE type.
+package tdse
+
+import (
+	"fmt"
+
+	"repro/internal/characterize"
+	"repro/internal/pareto"
+	"repro/internal/platform"
+	"repro/internal/relmodel"
+)
+
+// Objective identifies one task-level optimization objective of TABLE IV.
+// All are minimized; MTTF is negated internally.
+type Objective int
+
+const (
+	// AvgExT minimizes the average execution time.
+	AvgExT Objective = iota
+	// ErrProb minimizes the probability of error during execution.
+	ErrProb
+	// MTTF maximizes the implementation's mean time to failure.
+	MTTF
+	// Energy minimizes the energy per execution.
+	Energy
+	// Power minimizes the average power dissipation.
+	Power
+	// PeakTemp minimizes the steady-state temperature.
+	PeakTemp
+	// MinExT minimizes the error-free (minimum) execution time — distinct
+	// from AvgExT because recovery dynamics decouple the two.
+	MinExT
+	numObjectives
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case AvgExT:
+		return "avg-exec-time"
+	case ErrProb:
+		return "error-probability"
+	case MTTF:
+		return "mttf"
+	case Energy:
+		return "energy"
+	case Power:
+		return "power"
+	case PeakTemp:
+		return "peak-temperature"
+	case MinExT:
+		return "min-exec-time"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// ObjectiveSets returns the cumulative objective sets of TABLE IV:
+// row I = {AvgExT}, row II adds ErrProb, … row VI adds PeakTemp.
+func ObjectiveSets() [][]Objective {
+	all := []Objective{AvgExT, ErrProb, MTTF, Energy, Power, PeakTemp}
+	out := make([][]Objective, len(all))
+	for i := range all {
+		out[i] = append([]Objective(nil), all[:i+1]...)
+	}
+	return out
+}
+
+// Value extracts the minimization value of objective o from task metrics.
+func Value(m relmodel.Metrics, o Objective) float64 {
+	switch o {
+	case AvgExT:
+		return m.AvgExTimeUS
+	case ErrProb:
+		return m.ErrProb
+	case MTTF:
+		return -m.MTTFHours
+	case Energy:
+		return m.EnergyUJ
+	case Power:
+		return m.PowerW
+	case PeakTemp:
+		return m.TempC
+	case MinExT:
+		return m.MinExTimeUS
+	default:
+		panic(fmt.Sprintf("tdse: unknown objective %d", int(o)))
+	}
+}
+
+// Vector extracts the full minimization vector for the objective set.
+func Vector(m relmodel.Metrics, objectives []Objective) []float64 {
+	out := make([]float64, len(objectives))
+	for i, o := range objectives {
+		out[i] = Value(m, o)
+	}
+	return out
+}
+
+// Candidate is one fully configured task implementation: a base
+// implementation plus a CLR configuration, with its evaluated metrics.
+type Candidate struct {
+	Base       relmodel.Impl
+	Assignment relmodel.Assignment
+	Metrics    relmodel.Metrics
+}
+
+// Options restricts the enumeration, enabling both the single-layer
+// baselines of the evaluation (§VI.C) and the implicit-masking sweep of
+// Fig. 6(b). Nil index slices mean "all methods of that layer".
+type Options struct {
+	// Modes restricts the DVFS modes (indices into the PE type's modes).
+	// Out-of-range indices for a PE type with fewer modes are skipped.
+	Modes []int
+	// HW, SSW, ASW restrict the per-layer method indices.
+	HW, SSW, ASW []int
+	// ImplicitMaskingOverride, when non-negative, replaces every base
+	// implementation's implicit SSW masking (Fig. 6(b) sweep). Negative
+	// means "keep the implementation's own value".
+	ImplicitMaskingOverride float64
+}
+
+// DefaultOptions enumerates everything and keeps implementations' own
+// implicit masking.
+func DefaultOptions() Options {
+	return Options{ImplicitMaskingOverride: -1}
+}
+
+// Enumerate generates and evaluates every CLR-integrated candidate of one
+// task type on the platform.
+func Enumerate(lib *characterize.Library, taskType int, p *platform.Platform, cat *relmodel.Catalog, opt Options) ([]Candidate, error) {
+	if err := cat.Validate(); err != nil {
+		return nil, err
+	}
+	var out []Candidate
+	for _, base := range lib.Impls(taskType) {
+		if opt.ImplicitMaskingOverride >= 0 {
+			base.ImplicitMasking = opt.ImplicitMaskingOverride
+		}
+		pt := p.Types()[base.PETypeIndex]
+		modes := indicesOrAll(opt.Modes, len(pt.Modes))
+		hws := indicesOrAll(opt.HW, len(cat.HW))
+		ssws := indicesOrAll(opt.SSW, len(cat.SSW))
+		asws := indicesOrAll(opt.ASW, len(cat.ASW))
+		for _, mode := range modes {
+			if mode >= len(pt.Modes) {
+				continue
+			}
+			for _, hw := range hws {
+				for _, ssw := range ssws {
+					for _, asw := range asws {
+						asg := relmodel.Assignment{Mode: mode, HW: hw, SSW: ssw, ASW: asw}
+						m, err := relmodel.Evaluate(base, asg, pt, cat)
+						if err != nil {
+							return nil, fmt.Errorf("tdse: task type %d: %w", taskType, err)
+						}
+						out = append(out, Candidate{Base: base, Assignment: asg, Metrics: m})
+					}
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("tdse: task type %d yielded no candidates", taskType)
+	}
+	return out, nil
+}
+
+func indicesOrAll(sel []int, n int) []int {
+	if sel != nil {
+		return sel
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Filter Pareto-filters candidates under the objective set, independently
+// within each PE type (see the package comment), and returns the union.
+func Filter(cands []Candidate, objectives []Objective) []Candidate {
+	if len(objectives) == 0 {
+		panic("tdse: empty objective set")
+	}
+	groups := map[int][]Candidate{}
+	var order []int
+	for _, c := range cands {
+		if _, ok := groups[c.Base.PETypeIndex]; !ok {
+			order = append(order, c.Base.PETypeIndex)
+		}
+		groups[c.Base.PETypeIndex] = append(groups[c.Base.PETypeIndex], c)
+	}
+	var out []Candidate
+	for _, pti := range order {
+		g := groups[pti]
+		pts := make([][]float64, len(g))
+		for i, c := range g {
+			pts[i] = Vector(c.Metrics, objectives)
+		}
+		for _, i := range pareto.Filter(pts) {
+			out = append(out, g[i])
+		}
+	}
+	return out
+}
+
+// Explore is Enumerate followed by Filter: the tDSE of one task type.
+func Explore(lib *characterize.Library, taskType int, p *platform.Platform, cat *relmodel.Catalog, opt Options, objectives []Objective) ([]Candidate, error) {
+	cands, err := Enumerate(lib, taskType, p, cat, opt)
+	if err != nil {
+		return nil, err
+	}
+	return Filter(cands, objectives), nil
+}
+
+// Library holds the Pareto-filtered implementation sets of every task type:
+// the Ipf_t of §V.B, the input to pfCLR system-level DSE.
+type Library struct {
+	ByType [][]Candidate
+}
+
+// Build runs Explore for every task type of the characterization library.
+func Build(lib *characterize.Library, p *platform.Platform, cat *relmodel.Catalog, opt Options, objectives []Objective) (*Library, error) {
+	out := &Library{ByType: make([][]Candidate, lib.NumTypes())}
+	for tt := 0; tt < lib.NumTypes(); tt++ {
+		f, err := Explore(lib, tt, p, cat, opt, objectives)
+		if err != nil {
+			return nil, err
+		}
+		out.ByType[tt] = f
+	}
+	return out, nil
+}
+
+// Impls returns the filtered candidates of a task type.
+func (l *Library) Impls(taskType int) []Candidate {
+	if taskType < 0 || taskType >= len(l.ByType) {
+		panic(fmt.Sprintf("tdse: task type %d out of range", taskType))
+	}
+	return l.ByType[taskType]
+}
+
+// Counts returns the number of Pareto implementations per task type
+// (the bars of Fig. 9 and cells of TABLE IV).
+func (l *Library) Counts() []int {
+	out := make([]int, len(l.ByType))
+	for i, s := range l.ByType {
+		out[i] = len(s)
+	}
+	return out
+}

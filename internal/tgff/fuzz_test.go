@@ -1,0 +1,38 @@
+package tgff
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseText exercises the TGFF text parser with arbitrary inputs: it
+// must never panic, and any graph it accepts must be internally consistent
+// and round-trip through WriteText.
+func FuzzParseText(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteText(&seed, MustGenerate(DefaultConfig(12), 3)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("@TASK_GRAPH x {\nPERIOD 100\nTASK a\tTYPE 0\tCRITICALITY 1\n}\n")
+	f.Add("garbage")
+	f.Add("@TASK_GRAPH x {\nPERIOD -1\n}\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseText(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Accepted graphs must be valid and round-trippable.
+		if !g.IsValidTopo(g.TopoOrder()) {
+			t.Fatal("accepted graph has invalid topology")
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			t.Fatalf("accepted graph fails to serialize: %v", err)
+		}
+		if _, err := ParseText(&buf); err != nil {
+			t.Fatalf("serialized accepted graph fails to re-parse: %v", err)
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package tgff
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/taskgraph"
+)
+
+// WriteText serializes a task graph in the TGFF-like text form emitted by
+// the tgffgen tool:
+//
+//	@TASK_GRAPH <name> {
+//	  PERIOD <µs>
+//	  TASK <name>  TYPE <n>  CRITICALITY <f>
+//	  ARC a<i>  FROM t<from> TO t<to>  DATA <kb>
+//	}
+//
+// Task IDs are implicit in declaration order; ARC endpoints use t<ID>.
+func WriteText(w io.Writer, g *taskgraph.Graph) error {
+	if _, err := fmt.Fprintf(w, "@TASK_GRAPH %s {\n", g.Name); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  PERIOD %g\n", g.PeriodUS)
+	for _, t := range g.Tasks() {
+		fmt.Fprintf(w, "  TASK %s\tTYPE %d\tCRITICALITY %g\n", t.Name, t.Type, t.Criticality)
+	}
+	for i, e := range g.Edges() {
+		fmt.Fprintf(w, "  ARC a%d\tFROM t%d TO t%d\tDATA %g\n", i, e.From, e.To, e.DataKB)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// ParseText reads the text form produced by WriteText back into a task
+// graph. Unknown directives are rejected; the graph is validated on build.
+func ParseText(r io.Reader) (*taskgraph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	var b *taskgraph.Builder
+	line := 0
+	var name string
+	var period float64
+	type pendingTask struct {
+		name        string
+		taskType    int
+		criticality float64
+	}
+	var tasks []pendingTask
+	type pendingArc struct {
+		from, to int
+		dataKB   float64
+	}
+	var arcs []pendingArc
+	seenHeader, seenFooter := false, false
+
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch {
+		case strings.HasPrefix(text, "@TASK_GRAPH"):
+			if seenHeader {
+				return nil, fmt.Errorf("tgff: line %d: duplicate @TASK_GRAPH", line)
+			}
+			if len(fields) < 3 || fields[len(fields)-1] != "{" {
+				return nil, fmt.Errorf("tgff: line %d: malformed header", line)
+			}
+			name = fields[1]
+			seenHeader = true
+		case fields[0] == "PERIOD":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("tgff: line %d: malformed PERIOD", line)
+			}
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("tgff: line %d: bad period: %w", line, err)
+			}
+			period = v
+		case fields[0] == "TASK":
+			// TASK <name> TYPE <n> CRITICALITY <f>
+			if len(fields) != 6 || fields[2] != "TYPE" || fields[4] != "CRITICALITY" {
+				return nil, fmt.Errorf("tgff: line %d: malformed TASK", line)
+			}
+			tt, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("tgff: line %d: bad type: %w", line, err)
+			}
+			crit, err := strconv.ParseFloat(fields[5], 64)
+			if err != nil {
+				return nil, fmt.Errorf("tgff: line %d: bad criticality: %w", line, err)
+			}
+			tasks = append(tasks, pendingTask{name: fields[1], taskType: tt, criticality: crit})
+		case fields[0] == "ARC":
+			// ARC a<i> FROM t<from> TO t<to> DATA <kb>
+			if len(fields) != 8 || fields[2] != "FROM" || fields[4] != "TO" || fields[6] != "DATA" {
+				return nil, fmt.Errorf("tgff: line %d: malformed ARC", line)
+			}
+			from, err := parseTaskRef(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("tgff: line %d: %w", line, err)
+			}
+			to, err := parseTaskRef(fields[5])
+			if err != nil {
+				return nil, fmt.Errorf("tgff: line %d: %w", line, err)
+			}
+			kb, err := strconv.ParseFloat(fields[7], 64)
+			if err != nil {
+				return nil, fmt.Errorf("tgff: line %d: bad data volume: %w", line, err)
+			}
+			arcs = append(arcs, pendingArc{from: from, to: to, dataKB: kb})
+		case text == "}":
+			seenFooter = true
+		default:
+			return nil, fmt.Errorf("tgff: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !seenHeader || !seenFooter {
+		return nil, fmt.Errorf("tgff: missing @TASK_GRAPH header or closing brace")
+	}
+	b = taskgraph.NewBuilder(name, period)
+	for _, t := range tasks {
+		b.AddTask(t.name, t.taskType, t.criticality)
+	}
+	for _, a := range arcs {
+		b.AddEdgeData(a.from, a.to, a.dataKB)
+	}
+	return b.Build()
+}
+
+func parseTaskRef(s string) (int, error) {
+	if !strings.HasPrefix(s, "t") {
+		return 0, fmt.Errorf("tgff: bad task reference %q", s)
+	}
+	id, err := strconv.Atoi(s[1:])
+	if err != nil {
+		return 0, fmt.Errorf("tgff: bad task reference %q", s)
+	}
+	return id, nil
+}

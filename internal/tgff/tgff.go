@@ -1,0 +1,144 @@
+// Package tgff generates synthetic task graphs, standing in for the Task
+// Graphs For Free (TGFF) tool the paper uses to produce its synthetic
+// applications (§VI.A). Graphs are layered DAGs: tasks are spread across
+// layers, and every non-entry task draws one or more predecessors from
+// earlier layers — the same structural family TGFF's default series-parallel
+// generator emits. Generation is fully deterministic for a given (config,
+// seed) pair.
+package tgff
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/taskgraph"
+)
+
+// Config controls synthetic graph generation.
+type Config struct {
+	// NumTasks is the total number of tasks T.
+	NumTasks int
+	// NumTypes is the number of distinct task types to draw from; the
+	// paper's synthetic experiments use ten (SYN_0 … SYN_9, Fig. 9).
+	NumTypes int
+	// AvgLayerWidth is the average number of tasks per layer — the graph's
+	// parallelism. Width per layer varies ±50% around this.
+	AvgLayerWidth int
+	// MaxInDegree bounds the number of predecessors of a task.
+	MaxInDegree int
+	// MaxEdgeKB bounds the data volume attached to each dependency edge
+	// (drawn uniformly from [MaxEdgeKB/8, MaxEdgeKB]); zero disables
+	// communication payloads.
+	MaxEdgeKB float64
+	// PeriodUS is the application period P_app in microseconds.
+	PeriodUS float64
+}
+
+// DefaultConfig returns the configuration used by the paper-scale synthetic
+// experiments for a given task count: moderately parallel graphs with up to
+// three predecessors per task.
+func DefaultConfig(numTasks int) Config {
+	width := numTasks / 5
+	if width < 2 {
+		width = 2
+	}
+	return Config{
+		NumTasks:      numTasks,
+		NumTypes:      10,
+		AvgLayerWidth: width,
+		MaxInDegree:   3,
+		MaxEdgeKB:     64,
+		PeriodUS:      2e4 * float64(numTasks),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.NumTasks <= 0 {
+		return fmt.Errorf("tgff: NumTasks %d must be positive", c.NumTasks)
+	}
+	if c.NumTypes <= 0 {
+		return fmt.Errorf("tgff: NumTypes %d must be positive", c.NumTypes)
+	}
+	if c.AvgLayerWidth <= 0 {
+		return fmt.Errorf("tgff: AvgLayerWidth %d must be positive", c.AvgLayerWidth)
+	}
+	if c.MaxInDegree <= 0 {
+		return fmt.Errorf("tgff: MaxInDegree %d must be positive", c.MaxInDegree)
+	}
+	if c.MaxEdgeKB < 0 {
+		return fmt.Errorf("tgff: MaxEdgeKB %v must be non-negative", c.MaxEdgeKB)
+	}
+	if c.PeriodUS <= 0 {
+		return fmt.Errorf("tgff: PeriodUS %v must be positive", c.PeriodUS)
+	}
+	return nil
+}
+
+// Generate produces a deterministic synthetic task graph for the given
+// configuration and seed.
+func Generate(cfg Config, seed int64) (*taskgraph.Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := taskgraph.NewBuilder(fmt.Sprintf("tgff-%d-s%d", cfg.NumTasks, seed), cfg.PeriodUS)
+
+	// Partition tasks into layers of varying width.
+	var layers [][]int
+	remaining := cfg.NumTasks
+	for remaining > 0 {
+		w := cfg.AvgLayerWidth/2 + rng.Intn(cfg.AvgLayerWidth+1)
+		if w < 1 {
+			w = 1
+		}
+		if w > remaining {
+			w = remaining
+		}
+		layer := make([]int, 0, w)
+		for i := 0; i < w; i++ {
+			tt := rng.Intn(cfg.NumTypes)
+			crit := 0.5 + rng.Float64()*1.5
+			id := b.AddTask(fmt.Sprintf("t%d/SYN_%d", len(layers), tt), tt, crit)
+			layer = append(layer, id)
+		}
+		layers = append(layers, layer)
+		remaining -= w
+	}
+
+	// Wire dependencies: every task beyond the first layer picks 1..MaxIn
+	// predecessors, mostly from the immediately preceding layer with an
+	// occasional longer edge — the fan-in/fan-out structure TGFF produces.
+	for li := 1; li < len(layers); li++ {
+		for _, t := range layers[li] {
+			nPred := 1 + rng.Intn(cfg.MaxInDegree)
+			chosen := map[int]bool{}
+			for k := 0; k < nPred; k++ {
+				srcLayer := li - 1
+				if li > 1 && rng.Float64() < 0.15 {
+					srcLayer = rng.Intn(li)
+				}
+				cands := layers[srcLayer]
+				p := cands[rng.Intn(len(cands))]
+				if !chosen[p] {
+					chosen[p] = true
+					kb := 0.0
+					if cfg.MaxEdgeKB > 0 {
+						kb = cfg.MaxEdgeKB/8 + rng.Float64()*cfg.MaxEdgeKB*7/8
+					}
+					b.AddEdgeData(p, t, kb)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// MustGenerate is Generate that panics on error, for known-good configs.
+func MustGenerate(cfg Config, seed int64) *taskgraph.Graph {
+	g, err := Generate(cfg, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

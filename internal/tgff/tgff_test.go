@@ -1,0 +1,228 @@
+package tgff
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	for _, n := range []int{1, 5, 10, 50, 100} {
+		if err := DefaultConfig(n).Validate(); err != nil {
+			t.Errorf("DefaultConfig(%d) invalid: %v", n, err)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := DefaultConfig(20)
+	muts := []func(*Config){
+		func(c *Config) { c.NumTasks = 0 },
+		func(c *Config) { c.NumTypes = 0 },
+		func(c *Config) { c.AvgLayerWidth = 0 },
+		func(c *Config) { c.MaxInDegree = 0 },
+		func(c *Config) { c.PeriodUS = 0 },
+	}
+	for i, mut := range muts {
+		c := base
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+		if _, err := Generate(c, 1); err == nil {
+			t.Errorf("case %d: Generate accepted invalid config", i)
+		}
+	}
+}
+
+func TestGenerateTaskCount(t *testing.T) {
+	for _, n := range []int{1, 10, 20, 50, 100} {
+		g := MustGenerate(DefaultConfig(n), 7)
+		if g.NumTasks() != n {
+			t.Fatalf("generated %d tasks, want %d", g.NumTasks(), n)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(30)
+	a := MustGenerate(cfg, 99)
+	b := MustGenerate(cfg, 99)
+	if !reflect.DeepEqual(a.Tasks(), b.Tasks()) || !reflect.DeepEqual(a.Edges(), b.Edges()) {
+		t.Fatal("generation not deterministic")
+	}
+	c := MustGenerate(cfg, 100)
+	if reflect.DeepEqual(a.Edges(), c.Edges()) && reflect.DeepEqual(a.Tasks(), c.Tasks()) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestGenerateTypesWithinRange(t *testing.T) {
+	cfg := DefaultConfig(60)
+	g := MustGenerate(cfg, 3)
+	for _, task := range g.Tasks() {
+		if task.Type < 0 || task.Type >= cfg.NumTypes {
+			t.Fatalf("task type %d outside [0,%d)", task.Type, cfg.NumTypes)
+		}
+		if task.Criticality <= 0 {
+			t.Fatal("non-positive criticality")
+		}
+	}
+}
+
+func TestGenerateConnectivity(t *testing.T) {
+	// Every task beyond the first layer must have at least one predecessor;
+	// equivalently the number of root tasks is bounded by one layer.
+	g := MustGenerate(DefaultConfig(50), 11)
+	roots := 0
+	for i := 0; i < g.NumTasks(); i++ {
+		if len(g.Preds(i)) == 0 {
+			roots++
+		}
+	}
+	if roots == 0 {
+		t.Fatal("DAG must have at least one root")
+	}
+	if roots == g.NumTasks() {
+		t.Fatal("graph has no edges at all")
+	}
+}
+
+func TestPropertyGeneratedGraphsAreValidDAGs(t *testing.T) {
+	f := func(seed int64, nRaw, wRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		cfg := DefaultConfig(n)
+		cfg.AvgLayerWidth = int(wRaw%10) + 1
+		g, err := Generate(cfg, seed)
+		if err != nil {
+			return false
+		}
+		if g.NumTasks() != n {
+			return false
+		}
+		// Build validated acyclicity; verify topological order is valid.
+		return g.IsValidTopo(g.TopoOrder())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyInDegreeBounded(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%80) + 2
+		cfg := DefaultConfig(n)
+		g, err := Generate(cfg, seed)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < g.NumTasks(); i++ {
+			if len(g.Preds(i)) > cfg.MaxInDegree {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeDataVolumes(t *testing.T) {
+	cfg := DefaultConfig(40)
+	g := MustGenerate(cfg, 13)
+	if len(g.Edges()) == 0 {
+		t.Fatal("no edges")
+	}
+	for _, e := range g.Edges() {
+		if e.DataKB < cfg.MaxEdgeKB/8-1e-9 || e.DataKB > cfg.MaxEdgeKB+1e-9 {
+			t.Fatalf("edge data %v outside [%v, %v]", e.DataKB, cfg.MaxEdgeKB/8, cfg.MaxEdgeKB)
+		}
+	}
+}
+
+func TestEdgeDataDisabled(t *testing.T) {
+	cfg := DefaultConfig(20)
+	cfg.MaxEdgeKB = 0
+	g := MustGenerate(cfg, 13)
+	for _, e := range g.Edges() {
+		if e.DataKB != 0 {
+			t.Fatal("edge payloads present despite MaxEdgeKB=0")
+		}
+	}
+}
+
+func TestNegativeEdgeKBRejected(t *testing.T) {
+	cfg := DefaultConfig(10)
+	cfg.MaxEdgeKB = -1
+	if _, err := Generate(cfg, 1); err == nil {
+		t.Fatal("negative MaxEdgeKB accepted")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := MustGenerate(DefaultConfig(25), 17)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Name != g.Name || parsed.PeriodUS != g.PeriodUS {
+		t.Fatal("header fields lost in round trip")
+	}
+	if !reflect.DeepEqual(parsed.Tasks(), g.Tasks()) {
+		t.Fatal("tasks changed in round trip")
+	}
+	if !reflect.DeepEqual(parsed.Edges(), g.Edges()) {
+		t.Fatal("edges changed in round trip")
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":    "PERIOD 100\n}\n",
+		"no footer":    "@TASK_GRAPH x {\nPERIOD 100\n",
+		"dup header":   "@TASK_GRAPH x {\n@TASK_GRAPH y {\n}\n",
+		"bad period":   "@TASK_GRAPH x {\nPERIOD abc\n}\n",
+		"bad task":     "@TASK_GRAPH x {\nPERIOD 100\nTASK a TYPE x CRITICALITY 1\n}\n",
+		"short task":   "@TASK_GRAPH x {\nPERIOD 100\nTASK a\n}\n",
+		"bad arc ref":  "@TASK_GRAPH x {\nPERIOD 100\nTASK a TYPE 0 CRITICALITY 1\nARC a0 FROM x0 TO t0 DATA 1\n}\n",
+		"unknown line": "@TASK_GRAPH x {\nWIDGETS 4\n}\n",
+		"dangling arc": "@TASK_GRAPH x {\nPERIOD 100\nTASK a TYPE 0 CRITICALITY 1\nARC a0 FROM t0 TO t9 DATA 1\n}\n",
+		"empty graph":  "@TASK_GRAPH x {\nPERIOD 100\n}\n",
+		"bad arc data": "@TASK_GRAPH x {\nPERIOD 100\nTASK a TYPE 0 CRITICALITY 1\nTASK b TYPE 0 CRITICALITY 1\nARC a0 FROM t0 TO t1 DATA x\n}\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseText(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted invalid input", name)
+		}
+	}
+}
+
+func TestPropertyTextRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		g, err := Generate(DefaultConfig(n), seed)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			return false
+		}
+		parsed, err := ParseText(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(parsed.Tasks(), g.Tasks()) &&
+			reflect.DeepEqual(parsed.Edges(), g.Edges())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
