@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test vet race bench bench-sweep quick full
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the concurrency-bearing packages: the sweep executor, the
+# shared metrics cache in core, and the GA evaluate workers in moea.
+race:
+	$(GO) vet ./... && $(GO) test -race ./internal/sweep ./internal/core ./internal/moea
+
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x ./...
+
+# One pass over the sweep-engine and per-figure benchmarks (the snapshot
+# recorded in CHANGES.md).
+bench-sweep:
+	$(GO) test -bench 'Sweep|Fig|Table' -benchtime 1x .
+
+quick:
+	$(GO) run ./cmd/experiments -quick
+
+full:
+	$(GO) run ./cmd/experiments

@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/characterize"
@@ -129,6 +130,55 @@ func BenchmarkTable7(b *testing.B) {
 	}
 }
 
+// ---- sweep engine benchmarks ----
+
+// benchmarkSweep runs the TABLE V workload (a proposed run and a four-layer
+// agnostic run per size — the sweep engine's cells) at the given cell-level
+// parallelism.
+func benchmarkSweep(b *testing.B, jobs int) {
+	cfg := benchCfg()
+	cfg.Jobs = jobs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Table5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepSequential(b *testing.B) { benchmarkSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B)   { benchmarkSweep(b, runtime.NumCPU()) }
+
+// BenchmarkMetricsCacheSharing measures the instance-level Markov-metric
+// cache across strategies: an fcCLR run followed by the four-layer agnostic
+// runs on the same instance. The reported hit rate is the fraction of
+// task-metric lookups served without re-running the Markov analysis.
+func BenchmarkMetricsCacheSharing(b *testing.B) {
+	p := platform.Default()
+	cfg := core.RunConfig{Pop: 24, Gens: 10, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst := &core.Instance{
+			Graph:      tgff.MustGenerate(tgff.DefaultConfig(20), 7),
+			Platform:   p,
+			Lib:        characterize.Synthetic(p, characterize.DefaultSyntheticConfig(10), 8),
+			Catalog:    relmodel.DefaultCatalog(),
+			Objectives: core.DefaultObjectives(),
+		}
+		if _, err := core.FcCLR(inst, cfg); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := core.Agnostic(inst, cfg); err != nil {
+			b.Fatal(err)
+		}
+		st := inst.MetricsCacheStats()
+		b.ReportMetric(st.HitRate()*100, "cache-hit-%")
+		b.ReportMetric(float64(st.Entries), "cache-entries")
+	}
+}
+
 // ---- substrate micro-benchmarks ----
 
 func BenchmarkMarkovAnalyze(b *testing.B) {
@@ -146,6 +196,7 @@ func BenchmarkMarkovAnalyze(b *testing.B) {
 		MASW:                  0.6,
 		ModelCheckpointErrors: true,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := relmodel.AnalyzeChains(params); err != nil {
@@ -160,6 +211,7 @@ func BenchmarkTaskEvaluate(b *testing.B) {
 	cat := relmodel.DefaultCatalog()
 	impl := lib.Impls(0)[0]
 	asg := relmodel.Assignment{Mode: 1, HW: 2, SSW: 2, ASW: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := relmodel.Evaluate(impl, asg, p.Types()[0], cat); err != nil {
@@ -182,6 +234,7 @@ func BenchmarkScheduleRun50(b *testing.B) {
 		}
 	}
 	prio := g.TopoOrder()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := schedule.Run(g, p, prio, decisions); err != nil {
@@ -197,6 +250,7 @@ func BenchmarkHypervolume2D(b *testing.B) {
 		pts[i] = []float64{x, 1 - x*x}
 	}
 	ref := []float64{1.2, 1.2}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pareto.Hypervolume(pts, ref)
@@ -208,6 +262,7 @@ func BenchmarkTDSEExplore(b *testing.B) {
 	lib := characterize.Sobel(p)
 	cat := relmodel.DefaultCatalog()
 	objs := []tdse.Objective{tdse.AvgExT, tdse.ErrProb}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tdse.Explore(lib, taskgraph.SobelGSmth, p, cat, tdse.DefaultOptions(), objs); err != nil {
@@ -226,6 +281,7 @@ func BenchmarkFcCLRSobel(b *testing.B) {
 		Objectives: core.DefaultObjectives(),
 	}
 	cfg := core.RunConfig{Pop: 24, Gens: 10, Seed: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
@@ -245,6 +301,7 @@ func BenchmarkMOEADSobel(b *testing.B) {
 		Objectives: core.DefaultObjectives(),
 	}
 	cfg := core.RunConfig{Pop: 24, Gens: 10, Seed: 1, Engine: core.MOEAD}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
@@ -268,6 +325,7 @@ func BenchmarkHEFT50(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.HEFTSeed(inst, flib); err != nil {
@@ -282,6 +340,7 @@ func BenchmarkFaultInjection(b *testing.B) {
 		DetTimeUS: 25, TolTimeUS: 20, ChkTimeUS: 30,
 		MHW: 0.4, CovDet: 0.92, MTol: 0.98, MASW: 0.6,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := faultsim.SimulateTask(params, 1000, int64(i)); err != nil {
@@ -306,6 +365,7 @@ func BenchmarkThermalTrace(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := thermal.Simulate(g, p, decisions, res, 3, 20); err != nil {

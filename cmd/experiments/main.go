@@ -7,10 +7,15 @@
 //	experiments [-run all|fig6a,fig6b,table4,fig7,table5,fig8,table6,fig9,fig10,table7,
 //	             ablation-seeding,ablation-operators,ablation-comm,ablation-engine,
 //	             ablation-heft,ext-scenario,ext-memory]
-//	            [-pop N] [-gens N] [-seed N] [-sizes 10,20,...] [-quick]
+//	            [-pop N] [-gens N] [-seed N] [-sizes 10,20,...] [-quick] [-jobs N]
 //
 // -quick switches to a reduced GA budget and a short size sweep, useful for
 // smoke-testing the full pipeline in under a minute.
+//
+// -jobs bounds how many experiment cells (strategy run × size × layer ×
+// ablation arm) execute concurrently; 0 (the default) uses every core.
+// Output is byte-identical for every -jobs value at a fixed -seed — only
+// the per-experiment wall-clock in the section headers differs.
 package main
 
 import (
@@ -43,6 +48,7 @@ func run(args []string, w io.Writer) error {
 	gens := fs.Int("gens", 0, "GA generations (0 = default)")
 	seed := fs.Int64("seed", 0, "master seed (0 = default)")
 	sizes := fs.String("sizes", "", "comma-separated task counts for the table sweeps")
+	jobs := fs.Int("jobs", 0, "max concurrent experiment cells (0 = all cores, 1 = sequential)")
 	jsonPath := fs.String("json", "", "also write all results as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +74,7 @@ func run(args []string, w io.Writer) error {
 		}
 		cfg.Sizes = parsed
 	}
+	cfg.Jobs = *jobs
 
 	type experiment struct {
 		id  string

@@ -59,6 +59,16 @@ func TestRunTableWithCustomSizes(t *testing.T) {
 	}
 }
 
+func TestRunWithJobs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-run", "fig9", "-jobs", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig. 9") {
+		t.Fatal("missing Fig. 9 output")
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-run", "fig99"}, &buf); err == nil {

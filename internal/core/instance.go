@@ -104,6 +104,12 @@ type Instance struct {
 	// whose per-PE resident footprint exceeds the PE type's LocalMemKB are
 	// treated as constraint violations. Off reproduces the paper's model.
 	EnforceMemory bool
+
+	// metrics is the lazily created instance-level Markov-metric cache
+	// (see cache.go), shared by every strategy run on this instance. A
+	// plain pointer keeps Instance values copyable; use WithPlatform when
+	// deriving an instance whose metrics differ.
+	metrics *metricsCache
 }
 
 // Validate checks cross-references between the instance's components.

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math/rand"
-	"sync"
 
 	"repro/internal/moea"
 	"repro/internal/relmodel"
@@ -37,16 +36,16 @@ type metricsKey struct {
 
 // fcProblem is the full-configuration CLR task-mapping problem (fcCLR):
 // gene fields select the base implementation, DVFS mode and one method per
-// layer; Markov evaluations are memoized across the whole GA run.
+// layer; Markov evaluations are memoized in the instance's shared sharded
+// cache, so concurrent strategies on the same instance reuse each other's
+// work (see cache.go).
 type fcProblem struct {
 	inst     *Instance
 	restrict layerRestriction
 	compat   [][]int // PE ids per PE type index
 	maxModes int
 	objs     []SystemObjective
-
-	mu    sync.RWMutex
-	cache map[metricsKey]relmodel.Metrics
+	cache    *metricsCache
 }
 
 func newFCProblem(inst *Instance, restrict layerRestriction) *fcProblem {
@@ -56,7 +55,7 @@ func newFCProblem(inst *Instance, restrict layerRestriction) *fcProblem {
 		compat:   compatiblePEs(inst.Platform),
 		maxModes: maxModes(inst.Platform),
 		objs:     inst.objectives(),
-		cache:    make(map[metricsKey]relmodel.Metrics),
+		cache:    inst.sharedMetrics(),
 	}
 }
 
@@ -166,22 +165,16 @@ func (p *fcProblem) taskMetrics(task int, g moea.Gene) (relmodel.Metrics, int) {
 	tt := p.inst.Graph.Task(task).Type
 	impls := p.inst.Lib.Impls(tt)
 	key := metricsKey{taskType: tt, impl: mod(g.Impl, len(impls)), asg: asg}
-	p.mu.RLock()
-	m, ok := p.cache[key]
-	p.mu.RUnlock()
-	if ok {
-		return m, pe
-	}
-	pt := p.inst.Platform.Types()[impl.PETypeIndex]
-	m, err := relmodel.Evaluate(impl, asg, pt, p.inst.Catalog)
-	if err != nil {
-		// Decoding guarantees validity; an error here is a programming
-		// error, surfaced loudly.
-		panic("core: task metrics evaluation failed: " + err.Error())
-	}
-	p.mu.Lock()
-	p.cache[key] = m
-	p.mu.Unlock()
+	m := p.cache.lookup(key, func() relmodel.Metrics {
+		pt := p.inst.Platform.Types()[impl.PETypeIndex]
+		m, err := relmodel.Evaluate(impl, asg, pt, p.inst.Catalog)
+		if err != nil {
+			// Decoding guarantees validity; an error here is a programming
+			// error, surfaced loudly.
+			panic("core: task metrics evaluation failed: " + err.Error())
+		}
+		return m
+	})
 	return m, pe
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/pareto"
 	"repro/internal/relmodel"
 	"repro/internal/schedule"
+	"repro/internal/sweep"
 	"repro/internal/tdse"
 )
 
@@ -61,10 +62,17 @@ func (e Engine) String() string {
 type RunConfig struct {
 	Pop, Gens int
 	Seed      int64
-	// Workers bounds parallel fitness evaluation (≤ 0: GOMAXPROCS).
+	// Workers bounds parallel fitness evaluation. 0 (the default) draws
+	// workers from the process-wide CPU-token budget shared with the sweep
+	// engine; an explicit positive value forces that worker count.
 	Workers int
 	// Engine selects the MOEA family (default NSGA2).
 	Engine Engine
+	// Jobs bounds strategy-internal run-level parallelism (the per-layer
+	// runs of Agnostic); ≤ 0 means GOMAXPROCS. Results are identical for
+	// every value — per-run seeds are derived from Seed, never from
+	// scheduling.
+	Jobs int
 }
 
 // DefaultRunConfig is a moderate budget suitable for the paper-scale
@@ -405,16 +413,26 @@ func Agnostic(inst *Instance, cfg RunConfig) (*Front, map[Layer]*Front, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, nil, err
 	}
-	perLayer := make(map[Layer]*Front, 4)
-	var all []Point
-	evals := 0
-	for i, layer := range Layers() {
+	// The four per-layer runs are independent; run them as sweep cells.
+	// Per-layer seeds derive from cfg.Seed and results merge in layer
+	// order, so the merged front is identical for any Jobs value.
+	fronts, err := sweep.Map(cfg.Jobs, Layers(), func(i int, layer Layer) (*Front, error) {
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)*1000
 		f, err := SingleLayer(inst, c, layer)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: %v-only run: %w", layer, err)
+			return nil, fmt.Errorf("core: %v-only run: %w", layer, err)
 		}
+		return f, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	perLayer := make(map[Layer]*Front, 4)
+	var all []Point
+	evals := 0
+	for i, layer := range Layers() {
+		f := fronts[i]
 		perLayer[layer] = f
 		all = append(all, f.Points...)
 		evals += f.Evaluations

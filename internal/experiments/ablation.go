@@ -8,6 +8,7 @@ import (
 	"repro/internal/moea"
 	"repro/internal/scenario"
 	"repro/internal/schedule"
+	"repro/internal/sweep"
 )
 
 // The ablation studies probe the design choices DESIGN.md calls out: the
@@ -41,15 +42,25 @@ func (c Config) AblationSeeding() (*AblationSeedingResult, error) {
 	}
 	cfg := c.run(c.Seed + 71)
 
-	fc, err := core.FcCLR(inst, cfg)
-	if err != nil {
-		return nil, err
-	}
-	pf, err := core.PfCLR(inst, cfg, flib)
-	if err != nil {
-		return nil, err
-	}
-	prop, err := core.ProposedFrom(inst, cfg, flib, pf)
+	// fcCLR and the pfCLR→proposed chain are independent arms; random
+	// search needs the proposed flow's evaluation count, so it runs after.
+	var fc, pf, prop *core.Front
+	err = sweep.Run(c.Jobs, []func() error{
+		func() error {
+			f, err := core.FcCLR(inst, cfg)
+			fc = f
+			return err
+		},
+		func() error {
+			f, err := core.PfCLR(inst, cfg, flib)
+			if err != nil {
+				return err
+			}
+			pf = f
+			prop, err = core.ProposedFrom(inst, cfg, flib, pf)
+			return err
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -106,16 +117,21 @@ func (c Config) AblationOperators() (*AblationOperatorsResult, error) {
 		{"no order crossover", func(p *moea.Params) { p.DisableOrderCrossover = true }},
 		{"no order mutation", func(p *moea.Params) { p.DisableOrderMutation = true }},
 	}
-	var fronts [][][]float64
-	var evals []int
-	for _, v := range variants {
+	runs, err := sweep.Map(c.Jobs, variants, func(_ int, v struct {
+		label  string
+		mutate func(*moea.Params)
+	}) (*core.Front, error) {
 		params := moea.DefaultParams(c.Pop, c.Gens, c.Seed+81)
 		params.Workers = c.Workers
 		v.mutate(&params)
-		front, err := core.FcCLRWithParams(inst, params)
-		if err != nil {
-			return nil, err
-		}
+		return core.FcCLRWithParams(inst, params)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var fronts [][][]float64
+	var evals []int
+	for _, front := range runs {
 		fronts = append(fronts, frontPoints(front))
 		evals = append(evals, front.Evaluations)
 	}
@@ -154,16 +170,18 @@ func (c Config) AblationEngine() (*AblationEngineResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	var fronts [][][]float64
-	var evals []int
 	engines := []core.Engine{core.NSGA2, core.MOEAD}
-	for _, e := range engines {
+	runs, err := sweep.Map(c.Jobs, engines, func(_ int, e core.Engine) (*core.Front, error) {
 		cfg := c.run(c.Seed + 95)
 		cfg.Engine = e
-		front, err := core.Proposed(inst, cfg, flib)
-		if err != nil {
-			return nil, err
-		}
+		return core.Proposed(inst, cfg, flib)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var fronts [][][]float64
+	var evals []int
+	for _, front := range runs {
 		fronts = append(fronts, frontPoints(front))
 		evals = append(evals, front.Evaluations)
 	}
@@ -212,13 +230,21 @@ func (c Config) AblationComm() (*AblationCommResult, error) {
 	out := &AblationCommResult{Tasks: 20}
 
 	instFree := c.systemInstance(20)
-	free, err := core.Proposed(instFree, c.run(c.Seed+91), flib)
-	if err != nil {
-		return nil, err
-	}
 	instComm := c.systemInstance(20)
 	instComm.Comm = schedule.CommModel{StartupUS: 200, PerKBUS: 25}
-	comm, err := core.Proposed(instComm, c.run(c.Seed+91), flib)
+	var free, comm *core.Front
+	err = sweep.Run(c.Jobs, []func() error{
+		func() error {
+			f, err := core.Proposed(instFree, c.run(c.Seed+91), flib)
+			free = f
+			return err
+		},
+		func() error {
+			f, err := core.Proposed(instComm, c.run(c.Seed+91), flib)
+			comm = f
+			return err
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -284,11 +310,19 @@ func (c Config) AblationHEFT() (*AblationHEFTResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	plain, err := core.PfCLR(inst, c.run(c.Seed+97), flib)
-	if err != nil {
-		return nil, err
-	}
-	seeded, err := core.PfCLRWithSeeds(inst, c.run(c.Seed+97), flib, []*moea.Genome{seed})
+	var plain, seeded *core.Front
+	err = sweep.Run(c.Jobs, []func() error{
+		func() error {
+			f, err := core.PfCLR(inst, c.run(c.Seed+97), flib)
+			plain = f
+			return err
+		},
+		func() error {
+			f, err := core.PfCLRWithSeeds(inst, c.run(c.Seed+97), flib, []*moea.Genome{seed})
+			seeded = f
+			return err
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -386,14 +420,22 @@ func (c Config) Memory() (*MemoryResult, error) {
 
 	instFree := c.systemInstance(20)
 	tighten(instFree)
-	free, err := core.Proposed(instFree, c.run(c.Seed+103), flib)
-	if err != nil {
-		return nil, err
-	}
 	instMem := c.systemInstance(20)
 	tighten(instMem)
 	instMem.EnforceMemory = true
-	constrained, err := core.Proposed(instMem, c.run(c.Seed+103), flib)
+	var free, constrained *core.Front
+	err = sweep.Run(c.Jobs, []func() error{
+		func() error {
+			f, err := core.Proposed(instFree, c.run(c.Seed+103), flib)
+			free = f
+			return err
+		},
+		func() error {
+			f, err := core.Proposed(instMem, c.run(c.Seed+103), flib)
+			constrained = f
+			return err
+		},
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// sweepOutputs runs the fig7/table5/fig8 drivers at reduced scale with the
+// given cell-level parallelism and returns their rendered Print bytes and
+// JSON encoding.
+func sweepOutputs(t *testing.T, jobs int) ([]byte, []byte) {
+	t.Helper()
+	c := Quick()
+	c.Sizes = []int{10, 20}
+	c.Jobs = jobs
+	var buf bytes.Buffer
+	f7, err := c.fig7At(12)
+	if err != nil {
+		t.Fatalf("jobs=%d: fig7: %v", jobs, err)
+	}
+	f7.Print(&buf)
+	t5, err := c.Table5()
+	if err != nil {
+		t.Fatalf("jobs=%d: table5: %v", jobs, err)
+	}
+	t5.Print(&buf)
+	f8, err := c.fig8At(12)
+	if err != nil {
+		t.Fatalf("jobs=%d: fig8: %v", jobs, err)
+	}
+	f8.Print(&buf)
+	blob, err := json.Marshal(map[string]any{"fig7": f7, "table5": t5, "fig8": f8})
+	if err != nil {
+		t.Fatalf("jobs=%d: marshal: %v", jobs, err)
+	}
+	return buf.Bytes(), blob
+}
+
+// TestParallelSweepDeterminism is the sweep engine's core guarantee: for a
+// fixed seed, running the experiment cells on 4 workers produces the exact
+// bytes of the sequential run — both the human-readable Print output and
+// the JSON export. Any scheduling-dependent seed derivation, result
+// ordering or cache effect would break this.
+func TestParallelSweepDeterminism(t *testing.T) {
+	seqPrint, seqJSON := sweepOutputs(t, 1)
+	parPrint, parJSON := sweepOutputs(t, 4)
+	if !bytes.Equal(seqPrint, parPrint) {
+		t.Errorf("Print output differs between -jobs 1 and -jobs 4:\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s",
+			seqPrint, parPrint)
+	}
+	if !bytes.Equal(seqJSON, parJSON) {
+		t.Error("JSON export differs between -jobs 1 and -jobs 4")
+	}
+}

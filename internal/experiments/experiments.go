@@ -32,8 +32,15 @@ type Config struct {
 	Seed int64
 	// Sizes are the synthetic application sizes of TABLEs V-VII.
 	Sizes []int
-	// Workers bounds parallel fitness evaluation (≤ 0: GOMAXPROCS).
+	// Workers bounds parallel fitness evaluation. 0 (the default) draws
+	// workers from the process-wide CPU-token budget shared with the sweep
+	// engine; an explicit positive value forces that count per GA run.
 	Workers int
+	// Jobs bounds the number of experiment cells (strategy run × size ×
+	// layer × ablation arm) executed concurrently; ≤ 0 means GOMAXPROCS.
+	// All per-cell seeds derive from Seed and results are merged in a
+	// fixed order, so output is byte-identical for every Jobs value.
+	Jobs int
 }
 
 // Default returns the paper-scale configuration: applications of 10–100
@@ -53,7 +60,7 @@ func Quick() Config {
 }
 
 func (c Config) run(seed int64) core.RunConfig {
-	return core.RunConfig{Pop: c.Pop, Gens: c.Gens, Seed: seed, Workers: c.Workers}
+	return core.RunConfig{Pop: c.Pop, Gens: c.Gens, Seed: seed, Workers: c.Workers, Jobs: c.Jobs}
 }
 
 // instance builds the synthetic DSE instance of one application size:

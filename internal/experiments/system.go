@@ -9,6 +9,7 @@ import (
 	"repro/internal/pareto"
 	"repro/internal/platform"
 	"repro/internal/relmodel"
+	"repro/internal/sweep"
 	"repro/internal/tdse"
 	"repro/internal/tgff"
 )
@@ -62,15 +63,32 @@ func (c Config) fig7At(tasks int) (*Fig7Result, error) {
 	// Equal total evaluation budget: the agnostic side runs four GA
 	// optimizations, the proposed flow two stages — double the stage
 	// budget so both approaches spend 4× (pop·gens) evaluations.
+	// The two sides are independent sweep cells on the shared instance
+	// (and its shared metric cache); seeds are fixed per cell.
 	clrCfg := c.run(c.Seed + 1)
 	clrCfg.Gens *= 2
-	clr, err := core.Proposed(inst, clrCfg, flib)
+	var clr, agn *core.Front
+	var perLayer map[core.Layer]*core.Front
+	err = sweep.Run(c.Jobs, []func() error{
+		func() error {
+			f, err := core.Proposed(inst, clrCfg, flib)
+			if err != nil {
+				return fmt.Errorf("experiments: CLR run: %w", err)
+			}
+			clr = f
+			return nil
+		},
+		func() error {
+			f, pl, err := core.Agnostic(inst, c.run(c.Seed+2))
+			if err != nil {
+				return fmt.Errorf("experiments: agnostic runs: %w", err)
+			}
+			agn, perLayer = f, pl
+			return nil
+		},
+	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: CLR run: %w", err)
-	}
-	agn, perLayer, err := core.Agnostic(inst, c.run(c.Seed+2))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: agnostic runs: %w", err)
+		return nil, err
 	}
 	out := &Fig7Result{
 		Tasks:    tasks,
@@ -113,20 +131,35 @@ func (c Config) Table5() (*Table5Result, error) {
 		return nil, err
 	}
 	out := &Table5Result{Sizes: c.Sizes}
-	for _, tasks := range c.Sizes {
+	// One sweep cell per (size, strategy); the two cells of one size share
+	// the instance, so their Markov-metric cache is shared too.
+	clrs := make([]*core.Front, len(c.Sizes))
+	agns := make([]*core.Front, len(c.Sizes))
+	var cells []func() error
+	for i, tasks := range c.Sizes {
+		i, tasks := i, tasks
 		inst := c.systemInstance(tasks)
 		// Equal total budgets, as in fig7At.
 		clrCfg := c.run(c.Seed + int64(tasks)*7 + 1)
 		clrCfg.Gens *= 2
-		clr, err := core.Proposed(inst, clrCfg, flib)
-		if err != nil {
-			return nil, err
-		}
-		agn, _, err := core.Agnostic(inst, c.run(c.Seed+int64(tasks)*7+2))
-		if err != nil {
-			return nil, err
-		}
-		hv := commonHypervolumes(frontPoints(clr), frontPoints(agn))
+		cells = append(cells,
+			func() error {
+				f, err := core.Proposed(inst, clrCfg, flib)
+				clrs[i] = f
+				return err
+			},
+			func() error {
+				f, _, err := core.Agnostic(inst, c.run(c.Seed+int64(tasks)*7+2))
+				agns[i] = f
+				return err
+			},
+		)
+	}
+	if err := sweep.Run(c.Jobs, cells); err != nil {
+		return nil, err
+	}
+	for i := range c.Sizes {
+		hv := commonHypervolumes(frontPoints(clrs[i]), frontPoints(agns[i]))
 		out.IncreasePct = append(out.IncreasePct, pctIncrease(hv[0], hv[1]))
 	}
 	return out, nil
@@ -163,11 +196,19 @@ func (c Config) fig8At(tasks int) (*Fig8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	fc, err := core.FcCLR(inst, c.run(c.Seed+3))
-	if err != nil {
-		return nil, err
-	}
-	prop, err := core.Proposed(inst, c.run(c.Seed+4), flib)
+	var fc, prop *core.Front
+	err = sweep.Run(c.Jobs, []func() error{
+		func() error {
+			f, err := core.FcCLR(inst, c.run(c.Seed+3))
+			fc = f
+			return err
+		},
+		func() error {
+			f, err := core.Proposed(inst, c.run(c.Seed+4), flib)
+			prop = f
+			return err
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -210,17 +251,30 @@ func (c Config) Table6() (*Table6Result, error) {
 		return nil, err
 	}
 	out := &Table6Result{Sizes: c.Sizes}
-	for _, tasks := range c.Sizes {
+	fcs := make([]*core.Front, len(c.Sizes))
+	props := make([]*core.Front, len(c.Sizes))
+	var cells []func() error
+	for i, tasks := range c.Sizes {
+		i, tasks := i, tasks
 		inst := c.systemInstance(tasks)
-		fc, err := core.FcCLR(inst, c.run(c.Seed+int64(tasks)*11+1))
-		if err != nil {
-			return nil, err
-		}
-		prop, err := core.Proposed(inst, c.run(c.Seed+int64(tasks)*11+2), flib)
-		if err != nil {
-			return nil, err
-		}
-		hv := commonHypervolumes(frontPoints(prop), frontPoints(fc))
+		cells = append(cells,
+			func() error {
+				f, err := core.FcCLR(inst, c.run(c.Seed+int64(tasks)*11+1))
+				fcs[i] = f
+				return err
+			},
+			func() error {
+				f, err := core.Proposed(inst, c.run(c.Seed+int64(tasks)*11+2), flib)
+				props[i] = f
+				return err
+			},
+		)
+	}
+	if err := sweep.Run(c.Jobs, cells); err != nil {
+		return nil, err
+	}
+	for i := range c.Sizes {
+		hv := commonHypervolumes(frontPoints(props[i]), frontPoints(fcs[i]))
 		out.IncreasePct = append(out.IncreasePct, pctIncrease(hv[0], hv[1]))
 	}
 	return out, nil
@@ -246,23 +300,33 @@ type Fig10Result struct {
 func (c Config) Fig10() (*Fig10Result, error) {
 	inst := c.systemInstance(30)
 	out := &Fig10Result{Tasks: 30}
-	for k := 0; k < 3; k++ {
+	// One sweep cell per tDSE library: each cell is a dependent chain
+	// (library build → pfCLR → seeded fcCLR); the three chains are
+	// independent and share the instance's metric cache.
+	type chain struct{ pf, prop *core.Front }
+	chains, err := sweep.Map(c.Jobs, []int{0, 1, 2}, func(_ int, k int) (chain, error) {
 		flib, err := c.tdseLibrary(k)
 		if err != nil {
-			return nil, err
+			return chain{}, err
 		}
 		pf, err := core.PfCLR(inst, c.run(c.Seed+int64(k)*31+5), flib)
 		if err != nil {
-			return nil, err
+			return chain{}, err
 		}
 		// proposed_k extends exactly the pfCLR_k run shown alongside it.
 		prop, err := core.ProposedFrom(inst, c.run(c.Seed+int64(k)*31+6), flib, pf)
 		if err != nil {
-			return nil, err
+			return chain{}, err
 		}
+		return chain{pf: pf, prop: prop}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, ch := range chains {
 		out.Series = append(out.Series,
-			FrontSeries{Label: fmt.Sprintf("proposed_%d", k+1), Points: sortedFront(frontPoints(prop))},
-			FrontSeries{Label: fmt.Sprintf("pfCLR_%d", k+1), Points: sortedFront(frontPoints(pf))},
+			FrontSeries{Label: fmt.Sprintf("proposed_%d", k+1), Points: sortedFront(frontPoints(ch.prop))},
+			FrontSeries{Label: fmt.Sprintf("pfCLR_%d", k+1), Points: sortedFront(frontPoints(ch.pf))},
 		)
 	}
 	return out, nil
@@ -291,35 +355,50 @@ var Table7Columns = []string{"proposed_1", "pfCLR_1", "proposed_2", "pfCLR_2", "
 // hypervolume over pfCLR_3 for the proposed and pfCLR methods under the
 // three tDSE libraries, across application sizes.
 func (c Config) Table7() (*Table7Result, error) {
-	var flibs [3]*tdse.Library
-	for k := 0; k < 3; k++ {
-		fl, err := c.tdseLibrary(k)
-		if err != nil {
-			return nil, err
-		}
-		flibs[k] = fl
+	// The three library builds are independent of each other and of the
+	// instances, so they are their own (small) sweep.
+	flibs, err := sweep.Map(c.Jobs, []int{0, 1, 2}, func(_ int, k int) (*tdse.Library, error) {
+		return c.tdseLibrary(k)
+	})
+	if err != nil {
+		return nil, err
 	}
 	out := &Table7Result{Sizes: c.Sizes}
-	for _, tasks := range c.Sizes {
+	// One sweep cell per (size, library): each is a pfCLR → seeded-fcCLR
+	// chain; the 3·len(Sizes) chains are independent, and chains of one
+	// size share the instance's metric cache.
+	fronts := make([][][][]float64, len(c.Sizes))
+	var cells []func() error
+	for i, tasks := range c.Sizes {
+		i, tasks := i, tasks
 		inst := c.systemInstance(tasks)
-		fronts := make([][][]float64, 6)
+		fronts[i] = make([][][]float64, 6)
 		for k := 0; k < 3; k++ {
-			pf, err := core.PfCLR(inst, c.run(c.Seed+int64(tasks)*13+int64(k)*2+2), flibs[k])
-			if err != nil {
-				return nil, err
-			}
-			// proposed_k extends exactly the pfCLR_k run it is compared to.
-			prop, err := core.ProposedFrom(inst, c.run(c.Seed+int64(tasks)*13+int64(k)*2+1), flibs[k], pf)
-			if err != nil {
-				return nil, err
-			}
-			fronts[2*k] = frontPoints(prop)
-			fronts[2*k+1] = frontPoints(pf)
+			k := k
+			cells = append(cells, func() error {
+				pf, err := core.PfCLR(inst, c.run(c.Seed+int64(tasks)*13+int64(k)*2+2), flibs[k])
+				if err != nil {
+					return err
+				}
+				// proposed_k extends exactly the pfCLR_k run it is compared to.
+				prop, err := core.ProposedFrom(inst, c.run(c.Seed+int64(tasks)*13+int64(k)*2+1), flibs[k], pf)
+				if err != nil {
+					return err
+				}
+				fronts[i][2*k] = frontPoints(prop)
+				fronts[i][2*k+1] = frontPoints(pf)
+				return nil
+			})
 		}
-		hv := commonHypervolumes(fronts...)
+	}
+	if err := sweep.Run(c.Jobs, cells); err != nil {
+		return nil, err
+	}
+	for i := range c.Sizes {
+		hv := commonHypervolumes(fronts[i]...)
 		row := make([]float64, 6)
-		for i := range hv {
-			row[i] = pctIncrease(hv[i], hv[5])
+		for j := range hv {
+			row[j] = pctIncrease(hv[j], hv[5])
 		}
 		out.IncreasePct = append(out.IncreasePct, row)
 	}

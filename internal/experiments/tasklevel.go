@@ -10,6 +10,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/plot"
 	"repro/internal/relmodel"
+	"repro/internal/sweep"
 	"repro/internal/taskgraph"
 	"repro/internal/tdse"
 )
@@ -30,19 +31,27 @@ func (c Config) Fig6a() (*Fig6aResult, error) {
 	inst := c.sobelInstance()
 	out := &Fig6aResult{TaskType: "GSmth"}
 	procType := inst.Platform.Types()[0]
-	for mode := range procType.Modes {
+	modes := make([]int, len(procType.Modes))
+	for mode := range modes {
+		modes[mode] = mode
+	}
+	fronts, err := sweep.Map(c.Jobs, modes, func(_ int, mode int) (FrontSeries, error) {
 		opt := tdse.DefaultOptions()
 		opt.Modes = []int{mode}
 		front, err := tdse.Explore(inst.Lib, taskgraph.SobelGSmth, inst.Platform, inst.Catalog,
 			opt, []tdse.Objective{tdse.AvgExT, tdse.ErrProb})
 		if err != nil {
-			return nil, err
+			return FrontSeries{}, err
 		}
-		out.Fronts = append(out.Fronts, FrontSeries{
+		return FrontSeries{
 			Label:  procType.Modes[mode].Name,
 			Points: sortedTaskFront(front),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Fronts = fronts
 	return out, nil
 }
 
@@ -66,7 +75,7 @@ type Fig6bResult struct {
 func (c Config) Fig6b() (*Fig6bResult, error) {
 	inst := c.sobelInstance()
 	out := &Fig6bResult{TaskType: "GSmth", MaskLevels: []float64{0, 0.05, 0.10, 0.20}}
-	for _, mask := range out.MaskLevels {
+	fronts, err := sweep.Map(c.Jobs, out.MaskLevels, func(_ int, mask float64) (FrontSeries, error) {
 		opt := tdse.DefaultOptions()
 		opt.ImplicitMaskingOverride = mask
 		// The paper's Fig. 6(b) x-range corresponds to a reduced-frequency
@@ -75,13 +84,17 @@ func (c Config) Fig6b() (*Fig6bResult, error) {
 		front, err := tdse.Explore(inst.Lib, taskgraph.SobelGSmth, inst.Platform, inst.Catalog,
 			opt, []tdse.Objective{tdse.AvgExT, tdse.ErrProb})
 		if err != nil {
-			return nil, err
+			return FrontSeries{}, err
 		}
-		out.Fronts = append(out.Fronts, FrontSeries{
+		return FrontSeries{
 			Label:  fmt.Sprintf("ImplMask=%d%%", int(mask*100)),
 			Points: sortedTaskFront(front),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Fronts = fronts
 	return out, nil
 }
 
@@ -145,16 +158,27 @@ func (c Config) Table4() (*Table4Result, error) {
 		"V    IV + Power Dissipation",
 		"VI   V + Peak Temperature",
 	}
+	// Every (objective set × task type) exploration is an independent cell;
+	// each writes its own Rows slot.
+	var cells []func() error
 	for i, objs := range tdse.ObjectiveSets() {
+		i, objs := i, objs
 		out.RowLabels[i] = labels[i]
 		for tt := 0; tt < 4; tt++ {
-			front, err := tdse.Explore(inst.Lib, tt, inst.Platform, inst.Catalog,
-				tdse.DefaultOptions(), objs)
-			if err != nil {
-				return nil, err
-			}
-			out.Rows[i][tt] = len(front)
+			tt := tt
+			cells = append(cells, func() error {
+				front, err := tdse.Explore(inst.Lib, tt, inst.Platform, inst.Catalog,
+					tdse.DefaultOptions(), objs)
+				if err != nil {
+					return err
+				}
+				out.Rows[i][tt] = len(front)
+				return nil
+			})
 		}
+	}
+	if err := sweep.Run(c.Jobs, cells); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -189,13 +213,17 @@ func (c Config) Fig9() (*Fig9Result, error) {
 	p := platform.Default()
 	lib := syntheticLibrary(c, p)
 	out := &Fig9Result{}
-	for k, objs := range TDSEObjectiveSets() {
+	counts, err := sweep.Map(c.Jobs, TDSEObjectiveSets(), func(_ int, objs []tdse.Objective) ([]int, error) {
 		fl, err := tdse.Build(lib, p, relmodel.DefaultCatalog(), tdse.DefaultOptions(), objs)
 		if err != nil {
 			return nil, err
 		}
-		out.Counts[k] = fl.Counts()
+		return fl.Counts(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	copy(out.Counts[:], counts)
 	return out, nil
 }
 

@@ -174,26 +174,21 @@ func (c *Chain) Analyze() (*Result, error) {
 	}
 
 	nT, nA := len(transient), len(absorbing)
-	q := matrix.New(nT, nT) // transient → transient
 	r := matrix.New(nT, nA) // transient → absorbing
+	// Fundamental matrix N = (I − Q)⁻¹. We only need the start row of N:
+	// visits v = e_startᵀ·N, obtained by solving (I − Q)ᵀ·vᵀ = e_start.
+	// (I − Q)ᵀ is assembled in place — transition i→j contributes −Q[i][j]
+	// to entry (j, i) — instead of materializing Q, I − Q and a transposed
+	// copy (this sits on the hot path of every task-metric evaluation).
+	iqT := matrix.Identity(nT)
 	for _, s := range transient {
 		i := tIndex[s]
 		for _, e := range c.edges[s] {
 			if c.absorbing[e.to] {
 				r.Add(i, aIndex[e.to], e.prob)
 			} else {
-				q.Add(i, tIndex[e.to], e.prob)
+				iqT.Add(tIndex[e.to], i, -e.prob)
 			}
-		}
-	}
-
-	// Fundamental matrix N = (I − Q)⁻¹. We only need the start row of N:
-	// visits v = e_startᵀ·N, obtained by solving (I − Q)ᵀ·vᵀ = e_start.
-	iq := matrix.Identity(nT).Sub(q)
-	iqT := matrix.New(nT, nT)
-	for i := 0; i < nT; i++ {
-		for j := 0; j < nT; j++ {
-			iqT.Set(i, j, iq.At(j, i))
 		}
 	}
 	ft, err := matrix.Factorize(iqT)

@@ -6,8 +6,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/pareto"
+	"repro/internal/sweep"
 )
 
 // Params configures a GA run. The defaults of DefaultParams mirror §VI.A:
@@ -219,9 +221,21 @@ func tournament(rng *rand.Rand, pop []*solution, k int) *solution {
 }
 
 // evaluate computes fitness for all solutions, in parallel when beneficial.
+// With workers ≤ 0 it claims CPU tokens from the process-wide budget shared
+// with the sweep engine, so GA evaluators nested under parallel sweep cells
+// divide GOMAXPROCS instead of oversubscribing it. Worker count never
+// affects results: each solution's evaluation is independent and written to
+// its own slot.
 func evaluate(p Problem, sols []*solution, workers int) {
+	acquired := 0
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		want := runtime.GOMAXPROCS(0)
+		if want > len(sols) {
+			want = len(sols)
+		}
+		acquired = sweep.AcquireWorkers(want)
+		defer sweep.ReleaseWorkers(acquired)
+		workers = acquired
 	}
 	if workers > len(sols) {
 		workers = len(sols)
@@ -232,21 +246,23 @@ func evaluate(p Problem, sols []*solution, workers int) {
 		}
 		return
 	}
+	// Index striding over a shared atomic counter: no channel sends per
+	// solution and no per-item allocation on the dispatch path.
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	ch := make(chan *solution)
+	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for s := range ch {
-				s.eval = p.Evaluate(s.genome)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sols) {
+					return
+				}
+				sols[i].eval = p.Evaluate(sols[i].genome)
 			}
 		}()
 	}
-	for _, s := range sols {
-		ch <- s
-	}
-	close(ch)
 	wg.Wait()
 }
 

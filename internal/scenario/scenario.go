@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/schedule"
+	"repro/internal/sweep"
 	"repro/internal/tdse"
 )
 
@@ -104,15 +105,14 @@ func ScalePlatform(p *platform.Platform, factor float64) (*platform.Platform, er
 
 // scaleInstance clones the instance onto a scaled platform. The library is
 // reused: implementations characterize cycles/power, which do not depend on
-// the radiation environment.
+// the radiation environment. WithPlatform also detaches the clone from the
+// parent's Markov-metric cache — metrics do depend on the fault rate.
 func scaleInstance(inst *core.Instance, factor float64) (*core.Instance, error) {
 	p, err := ScalePlatform(inst.Platform, factor)
 	if err != nil {
 		return nil, err
 	}
-	out := *inst
-	out.Platform = p
-	return &out, nil
+	return inst.WithPlatform(p), nil
 }
 
 // PolicyOutcome summarizes one deployment policy over the scenario set.
@@ -155,9 +155,11 @@ func Study(inst *core.Instance, cfg core.RunConfig, tdseObjectives []tdse.Object
 	}
 	res := &StudyResult{Set: set}
 
-	// Per-scenario DSE.
+	// Per-scenario DSE: each scenario's chain (platform scaling →
+	// task-level filter → proposed DSE) is independent, with a seed derived
+	// from the scenario index, so the chains run as sweep cells.
 	insts := make([]*core.Instance, len(set))
-	for i, sc := range set {
+	fronts, err := sweep.Map(cfg.Jobs, set, func(i int, sc Scenario) (*core.Front, error) {
 		scaled, err := scaleInstance(inst, sc.FaultRateFactor)
 		if err != nil {
 			return nil, err
@@ -177,8 +179,12 @@ func Study(inst *core.Instance, cfg core.RunConfig, tdseObjectives []tdse.Object
 		if len(front.Points) == 0 {
 			return nil, fmt.Errorf("scenario %q: empty front", sc.Name)
 		}
-		res.Fronts = append(res.Fronts, front)
+		return front, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Fronts = fronts
 
 	// Static policy: the most reliable mapping of the worst-case front.
 	worst := set.Worst()

@@ -1,0 +1,145 @@
+// Package sweep is the bounded worker-pool executor behind the experiment
+// harness: it runs independent experiment cells (one strategy run, one
+// sweep size, one ablation arm) concurrently while keeping results
+// bit-identical to a sequential run.
+//
+// Determinism contract: every cell owns its inputs (its RNG seed is derived
+// from the master seed by the caller, never from cell scheduling), writes
+// its result to a caller-chosen slot, and errors are reported by the lowest
+// cell index. Cell scheduling therefore never influences outputs — `-jobs 1`
+// and `-jobs N` produce byte-identical results for a fixed seed.
+//
+// The package also owns the process-wide nested-parallelism budget: outer
+// sweep cells and the inner GA fitness evaluators both draw CPU tokens from
+// one GOMAXPROCS-sized pool (AcquireWorkers/ReleaseWorkers), so nesting a
+// parallel evaluator under a parallel sweep divides the machine instead of
+// oversubscribing it.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Jobs normalizes a job count: values ≤ 0 select GOMAXPROCS.
+func Jobs(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Run executes the tasks on at most jobs concurrent workers (jobs ≤ 0:
+// GOMAXPROCS) and returns the error of the lowest-indexed failing task, so
+// the reported error does not depend on scheduling. With jobs == 1 the
+// tasks run inline on the calling goroutine in order.
+func Run(jobs int, tasks []func() error) error {
+	jobs = Jobs(jobs)
+	if jobs > len(tasks) {
+		jobs = len(tasks)
+	}
+	if jobs <= 1 {
+		for _, t := range tasks {
+			if err := t(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(tasks))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				errs[i] = tasks[i]()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn over every item on at most jobs workers and returns the
+// results in item order. On error the lowest-indexed failure is returned
+// and the results are discarded.
+func Map[T, R any](jobs int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	tasks := make([]func() error, len(items))
+	for i := range items {
+		i := i
+		tasks[i] = func() error {
+			r, err := fn(i, items[i])
+			if err != nil {
+				return err
+			}
+			out[i] = r
+			return nil
+		}
+	}
+	if err := Run(jobs, tasks); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---- nested-parallelism budget ----
+
+var (
+	tokensOnce sync.Once
+	tokens     chan struct{}
+)
+
+func pool() chan struct{} {
+	tokensOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		tokens = make(chan struct{}, n)
+		for i := 0; i < n; i++ {
+			tokens <- struct{}{}
+		}
+	})
+	return tokens
+}
+
+// AcquireWorkers claims CPU tokens for a nested evaluator: it blocks until
+// one token is free, then opportunistically takes up to want−1 more without
+// blocking, and returns the claimed count (≥ 1). Because a holder never
+// needs further tokens to finish, the pool cannot deadlock. Callers must
+// pass the returned count to ReleaseWorkers.
+func AcquireWorkers(want int) int {
+	if want < 1 {
+		want = 1
+	}
+	p := pool()
+	<-p
+	n := 1
+	for n < want {
+		select {
+		case <-p:
+			n++
+		default:
+			return n
+		}
+	}
+	return n
+}
+
+// ReleaseWorkers returns tokens claimed by AcquireWorkers to the pool.
+func ReleaseWorkers(n int) {
+	p := pool()
+	for i := 0; i < n; i++ {
+		p <- struct{}{}
+	}
+}

@@ -1,0 +1,148 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestJobs(t *testing.T) {
+	if got := Jobs(3); got != 3 {
+		t.Fatalf("Jobs(3) = %d", got)
+	}
+	if got := Jobs(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Jobs(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Jobs(-5); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Jobs(-5) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestRunExecutesAll(t *testing.T) {
+	for _, jobs := range []int{1, 2, 4, 16} {
+		done := make([]atomic.Int64, 100)
+		tasks := make([]func() error, len(done))
+		for i := range tasks {
+			i := i
+			tasks[i] = func() error {
+				done[i].Add(1)
+				return nil
+			}
+		}
+		if err := Run(jobs, tasks); err != nil {
+			t.Fatalf("jobs=%d: unexpected error %v", jobs, err)
+		}
+		for i := range done {
+			if n := done[i].Load(); n != 1 {
+				t.Fatalf("jobs=%d: task %d ran %d times", jobs, i, n)
+			}
+		}
+	}
+}
+
+func TestRunFirstErrorByIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, jobs := range []int{1, 4} {
+		tasks := []func() error{
+			func() error { return nil },
+			func() error { return errA },
+			func() error { return errB },
+		}
+		if err := Run(jobs, tasks); !errors.Is(err, errA) {
+			t.Fatalf("jobs=%d: got %v, want lowest-index error %v", jobs, err, errA)
+		}
+	}
+}
+
+func TestRunSequentialStopsAtFirstError(t *testing.T) {
+	ran := 0
+	tasks := []func() error{
+		func() error { ran++; return nil },
+		func() error { ran++; return errors.New("boom") },
+		func() error { ran++; return nil },
+	}
+	if err := Run(1, tasks); err == nil {
+		t.Fatal("want error")
+	}
+	if ran != 2 {
+		t.Fatalf("sequential run executed %d tasks after error, want 2", ran)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := Run(4, nil); err != nil {
+		t.Fatalf("Run on empty task list: %v", err)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	items := make([]int, 50)
+	for i := range items {
+		items[i] = i
+	}
+	for _, jobs := range []int{1, 8} {
+		out, err := Map(jobs, items, func(i, item int) (string, error) {
+			return fmt.Sprintf("%d:%d", i, item*2), nil
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i, s := range out {
+			if want := fmt.Sprintf("%d:%d", i, i*2); s != want {
+				t.Fatalf("jobs=%d: out[%d] = %q, want %q", jobs, i, s, want)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	items := []int{0, 1, 2}
+	wantErr := errors.New("fail1")
+	out, err := Map(4, items, func(i, item int) (int, error) {
+		if i == 1 {
+			return 0, wantErr
+		}
+		return item, nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want %v", err, wantErr)
+	}
+	if out != nil {
+		t.Fatalf("results not discarded on error: %v", out)
+	}
+}
+
+func TestAcquireReleaseWorkers(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	n := AcquireWorkers(max + 10)
+	if n < 1 || n > max {
+		t.Fatalf("AcquireWorkers claimed %d, want 1..%d", n, max)
+	}
+	// The pool is drained; a second claimant still gets its guaranteed
+	// token once we release.
+	got := make(chan int)
+	go func() { got <- AcquireWorkers(1) }()
+	ReleaseWorkers(n)
+	m := <-got
+	if m != 1 {
+		t.Fatalf("second AcquireWorkers claimed %d, want 1", m)
+	}
+	ReleaseWorkers(m)
+	// Pool must be full again: a full acquire sees every token.
+	n = AcquireWorkers(max)
+	if n != max {
+		t.Fatalf("pool leaked tokens: reacquired %d of %d", n, max)
+	}
+	ReleaseWorkers(n)
+}
+
+func TestAcquireWorkersMinimumOne(t *testing.T) {
+	n := AcquireWorkers(0)
+	if n != 1 {
+		t.Fatalf("AcquireWorkers(0) = %d, want 1", n)
+	}
+	ReleaseWorkers(n)
+}

@@ -42,6 +42,9 @@ type Graph struct {
 	edges []Edge
 	preds [][]int
 	succs [][]int
+	// normCrit caches the normalized criticality weights ζ of Eq. 3,
+	// computed once in init — the list scheduler reads them per evaluation.
+	normCrit []float64
 	// numTypes caches 1 + max task type.
 	numTypes int
 }
@@ -147,6 +150,14 @@ func (g *Graph) init() error {
 	if _, err := g.topoOrder(); err != nil {
 		return err
 	}
+	total := 0.0
+	for _, t := range g.tasks {
+		total += t.Criticality
+	}
+	g.normCrit = make([]float64, n)
+	for i, t := range g.tasks {
+		g.normCrit[i] = t.Criticality / total
+	}
 	return nil
 }
 
@@ -165,19 +176,24 @@ func (g *Graph) Task(t int) Task {
 // Tasks returns all tasks in ID order.
 func (g *Graph) Tasks() []Task { return append([]Task(nil), g.tasks...) }
 
-// Edges returns all dependency edges.
-func (g *Graph) Edges() []Edge { return append([]Edge(nil), g.edges...) }
+// Edges returns all dependency edges. The returned slice is a shared
+// internal view — callers must not modify it. (These accessors sit on the
+// scheduler's per-evaluation hot path; copying per call dominated its
+// allocation profile.)
+func (g *Graph) Edges() []Edge { return g.edges }
 
-// Preds returns the predecessor task IDs of t.
+// Preds returns the predecessor task IDs of t. The returned slice is a
+// shared internal view — callers must not modify it.
 func (g *Graph) Preds(t int) []int {
 	g.check(t)
-	return append([]int(nil), g.preds[t]...)
+	return g.preds[t]
 }
 
-// Succs returns the successor task IDs of t.
+// Succs returns the successor task IDs of t. The returned slice is a
+// shared internal view — callers must not modify it.
 func (g *Graph) Succs(t int) []int {
 	g.check(t)
-	return append([]int(nil), g.succs[t]...)
+	return g.succs[t]
 }
 
 func (g *Graph) check(t int) {
@@ -235,18 +251,10 @@ func (g *Graph) topoOrder() ([]int, error) {
 }
 
 // NormalizedCriticality returns the weights ζ_t of Eq. 3: each task's
-// criticality divided by the total, so they sum to 1.
-func (g *Graph) NormalizedCriticality() []float64 {
-	total := 0.0
-	for _, t := range g.tasks {
-		total += t.Criticality
-	}
-	out := make([]float64, len(g.tasks))
-	for i, t := range g.tasks {
-		out[i] = t.Criticality / total
-	}
-	return out
-}
+// criticality divided by the total, so they sum to 1. The returned slice
+// is a shared internal view, precomputed at build time — callers must not
+// modify it.
+func (g *Graph) NormalizedCriticality() []float64 { return g.normCrit }
 
 // TasksOfType returns the IDs of tasks with the given type.
 func (g *Graph) TasksOfType(taskType int) []int {

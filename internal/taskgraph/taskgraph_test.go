@@ -196,10 +196,24 @@ func TestAccessorsReturnCopies(t *testing.T) {
 	if g.Task(0).Name != "GScale" {
 		t.Fatal("Tasks() exposes internal storage")
 	}
-	p := g.Preds(4)
-	p[0] = 99
-	if g.Preds(4)[0] == 99 {
-		t.Fatal("Preds() exposes internal storage")
+}
+
+// Preds, Succs, Edges and NormalizedCriticality return shared read-only
+// views (see their doc comments) so the scheduler's hot path does not copy
+// per call; repeated calls must be stable and alias the same storage.
+func TestSharedViewAccessorsStable(t *testing.T) {
+	g := Sobel()
+	if a, b := g.Preds(4), g.Preds(4); len(a) == 0 || &a[0] != &b[0] {
+		t.Fatal("Preds should return the shared internal view")
+	}
+	if a, b := g.Succs(1), g.Succs(1); len(a) == 0 || &a[0] != &b[0] {
+		t.Fatal("Succs should return the shared internal view")
+	}
+	if a, b := g.Edges(), g.Edges(); len(a) == 0 || &a[0] != &b[0] {
+		t.Fatal("Edges should return the shared internal view")
+	}
+	if a, b := g.NormalizedCriticality(), g.NormalizedCriticality(); len(a) == 0 || &a[0] != &b[0] {
+		t.Fatal("NormalizedCriticality should return the precomputed shared view")
 	}
 }
 
