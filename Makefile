@@ -1,6 +1,7 @@
 GO ?= go
+PORT ?= 8080
 
-.PHONY: build test vet race bench bench-sweep quick full
+.PHONY: build test vet race bench bench-sweep quick full serve
 
 build:
 	$(GO) build ./...
@@ -12,9 +13,10 @@ vet:
 	$(GO) vet ./...
 
 # Race-check the concurrency-bearing packages: the sweep executor, the
-# shared metrics cache in core, and the GA evaluate workers in moea.
+# shared metrics cache in core, the GA evaluate workers in moea, and the
+# job-queue service.
 race:
-	$(GO) vet ./... && $(GO) test -race ./internal/sweep ./internal/core ./internal/moea
+	$(GO) vet ./... && $(GO) test -race ./internal/sweep ./internal/core ./internal/moea ./internal/service
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x ./...
@@ -23,6 +25,10 @@ bench:
 # recorded in CHANGES.md).
 bench-sweep:
 	$(GO) test -bench 'Sweep|Fig|Table' -benchtime 1x .
+
+# Build and launch the DSE job service on $(PORT).
+serve:
+	$(GO) build ./cmd/clrearlyd && $(GO) run ./cmd/clrearlyd -addr :$(PORT)
 
 quick:
 	$(GO) run ./cmd/experiments -quick

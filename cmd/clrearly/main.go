@@ -3,16 +3,20 @@
 //
 // Usage:
 //
-//	clrearly [-app sobel|synthetic] [-tasks N] [-method proposed|fccLR|pfclr|agnostic]
-//	         [-pop N] [-gens N] [-seed N]
+//	clrearly [-app sobel|jpeg|synthetic] [-tasks N] [-method proposed|fcclr|pfclr|agnostic]
+//	         [-pop N] [-gens N] [-seed N] [-engine nsga2|moead] [-json]
 //	         [-max-makespan US] [-min-frel F] [-min-mttf H] [-max-energy UJ] [-max-power W]
 //
 // The synthetic application uses the TGFF-style generator over ten task
 // types; sobel is the five-task edge-detection pipeline of the paper's
-// Fig. 2(b).
+// Fig. 2(b). The flags are parsed into the same canonical job spec the
+// clrearlyd service accepts, and -json emits the front in the service's
+// wire format, so CLI and API output stay in lockstep.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,15 +24,10 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/characterize"
 	"repro/internal/core"
 	"repro/internal/gantt"
-	"repro/internal/platform"
-	"repro/internal/relmodel"
 	"repro/internal/schedule"
-	"repro/internal/taskgraph"
-	"repro/internal/tdse"
-	"repro/internal/tgff"
+	"repro/internal/service"
 )
 
 func main() {
@@ -47,6 +46,7 @@ func run(args []string, w io.Writer) error {
 	pop := fs.Int("pop", 60, "GA population size")
 	gens := fs.Int("gens", 40, "GA generations")
 	seed := fs.Int64("seed", 1, "random seed")
+	engine := fs.String("engine", "nsga2", "MOEA family: nsga2 or moead")
 	maxMakespan := fs.Float64("max-makespan", 0, "makespan constraint in µs (0 = none)")
 	minFRel := fs.Float64("min-frel", 0, "functional reliability constraint (0 = none)")
 	minMTTF := fs.Float64("min-mttf", 0, "MTTF constraint in hours (0 = none)")
@@ -58,31 +58,26 @@ func run(args []string, w io.Writer) error {
 	commStartup := fs.Float64("comm-startup", 0, "interconnect transfer startup cost in µs (0 = comm-free model)")
 	commPerKB := fs.Float64("comm-per-kb", 0, "interconnect cost per KB in µs")
 	memory := fs.Bool("memory", false, "enforce per-PE local memory capacities")
+	jsonOut := fs.Bool("json", false, "emit the front as JSON in the service wire format")
 	ganttChart := fs.Bool("gantt", false, "render the most reliable mapping as a Gantt chart (proposed/fcclr only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	p := platform.Default()
-	cat := relmodel.DefaultCatalog()
-	switch strings.ToLower(*catalog) {
-	case "default":
-	case "extended":
-		cat = relmodel.ExtendedCatalog()
-	default:
-		return fmt.Errorf("unknown catalog %q", *catalog)
-	}
-	objs, err := parseObjectives(*objectives)
-	if err != nil {
-		return err
-	}
-	inst := &core.Instance{
-		Platform:      p,
-		Catalog:       cat,
-		Objectives:    objs,
-		Comm:          schedule.CommModel{StartupUS: *commStartup, PerKBUS: *commPerKB},
+	spec := service.JobSpec{
+		App:           *app,
+		Tasks:         *tasks,
+		Method:        *method,
+		Pop:           *pop,
+		Gens:          *gens,
+		Seed:          *seed,
+		Engine:        *engine,
+		Catalog:       *catalog,
+		Objectives:    splitList(*objectives),
+		CommStartupUS: *commStartup,
+		CommPerKBUS:   *commPerKB,
 		EnforceMemory: *memory,
-		Spec: schedule.Spec{
+		Constraints: service.Constraints{
 			MaxMakespanUS:    *maxMakespan,
 			MinFunctionalRel: *minFRel,
 			MinMTTFHours:     *minMTTF,
@@ -90,64 +85,42 @@ func run(args []string, w io.Writer) error {
 			MaxPeakPowerW:    *maxPower,
 		},
 	}
-	switch {
-	case *graphFile != "":
-		f, err := os.Open(*graphFile)
+	if *graphFile != "" {
+		text, err := os.ReadFile(*graphFile)
 		if err != nil {
 			return err
 		}
-		g, err := tgff.ParseText(f)
-		f.Close()
-		if err != nil {
-			return fmt.Errorf("parsing %s: %w", *graphFile, err)
-		}
-		inst.Graph = g
-		inst.Lib = characterize.Synthetic(p, characterize.DefaultSyntheticConfig(g.NumTypes()), *seed+500)
-	case strings.ToLower(*app) == "sobel":
-		inst.Graph = taskgraph.Sobel()
-		inst.Lib = characterize.Sobel(p)
-	case strings.ToLower(*app) == "jpeg":
-		inst.Graph = taskgraph.JPEG()
-		inst.Lib = characterize.JPEG(p)
-	case strings.ToLower(*app) == "synthetic":
-		inst.Graph = tgff.MustGenerate(tgff.DefaultConfig(*tasks), *seed)
-		inst.Lib = characterize.Synthetic(p, characterize.DefaultSyntheticConfig(10), *seed+500)
-	default:
-		return fmt.Errorf("unknown application %q", *app)
+		spec.GraphText = string(text)
+	}
+	if err := spec.Normalize(); err != nil {
+		return err
+	}
+	if *ganttChart && spec.Method != "proposed" && spec.Method != "fcclr" {
+		return fmt.Errorf("-gantt requires a full-configuration method (proposed or fcclr)")
 	}
 
-	cfg := core.RunConfig{Pop: *pop, Gens: *gens, Seed: *seed}
-	var front *core.Front
-	switch strings.ToLower(*method) {
-	case "proposed":
-		flib, ferr := tdse.Build(inst.Lib, p, inst.Catalog, tdse.DefaultOptions(),
-			[]tdse.Objective{tdse.AvgExT, tdse.ErrProb})
-		if ferr != nil {
-			return ferr
-		}
+	inst, flib, err := service.Build(&spec)
+	if err != nil {
+		return err
+	}
+	if spec.Method == "proposed" && !*jsonOut {
 		fcLog, pfLog := core.SearchSpaceLog10(inst, flib)
 		fmt.Fprintf(w, "design space: fcCLR ≈ 10^%.0f points, pfCLR ≈ 10^%.0f points\n", fcLog, pfLog)
-		front, err = core.Proposed(inst, cfg, flib)
-	case "fcclr":
-		front, err = core.FcCLR(inst, cfg)
-	case "pfclr":
-		flib, ferr := tdse.Build(inst.Lib, p, inst.Catalog, tdse.DefaultOptions(),
-			[]tdse.Objective{tdse.AvgExT, tdse.ErrProb})
-		if ferr != nil {
-			return ferr
-		}
-		front, err = core.PfCLR(inst, cfg, flib)
-	case "agnostic":
-		front, _, err = core.Agnostic(inst, cfg)
-	default:
-		return fmt.Errorf("unknown method %q", *method)
 	}
+	front, err := service.ExecuteOn(context.Background(), inst, flib, &spec, nil)
 	if err != nil {
 		return err
 	}
 
+	if *jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(service.FrontToWire(front))
+	}
+
 	fmt.Fprintf(w, "%s DSE of %q (%d tasks, %d PEs): %d Pareto points, %d evaluations\n",
-		*method, inst.Graph.Name, inst.Graph.NumTasks(), p.NumPEs(), len(front.Points), front.Evaluations)
+		spec.Method, inst.Graph.Name, inst.Graph.NumTasks(), inst.Platform.NumPEs(),
+		len(front.Points), front.Evaluations)
 	pts := append([]core.Point(nil), front.Points...)
 	sort.Slice(pts, func(i, j int) bool { return pts[i].QoS.MakespanUS < pts[j].QoS.MakespanUS })
 	fmt.Fprintf(w, "%12s %12s %14s %12s %10s\n",
@@ -159,10 +132,6 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *ganttChart {
-		m := strings.ToLower(*method)
-		if m != "proposed" && m != "fcclr" {
-			return fmt.Errorf("-gantt requires a full-configuration method (proposed or fcclr)")
-		}
 		best := front.Points[0]
 		for _, pt := range front.Points {
 			if pt.QoS.ErrProb < best.QoS.ErrProb {
@@ -175,30 +144,17 @@ func run(args []string, w io.Writer) error {
 			decisions[t].PE = pes[t]
 		}
 		fmt.Fprintln(w)
-		fmt.Fprint(w, gantt.Chart(inst.Graph, p, decisions, best.QoS, 72))
+		fmt.Fprint(w, gantt.Chart(inst.Graph, inst.Platform, decisions, best.QoS, 72))
 	}
 	return nil
 }
 
-var systemObjectiveNames = map[string]core.SystemObjective{
-	"makespan": core.Makespan,
-	"errprob":  core.AppErrProb,
-	"lifetime": core.Lifetime,
-	"energy":   core.Energy,
-	"power":    core.PeakPower,
-}
-
-func parseObjectives(s string) ([]core.SystemObjective, error) {
-	var out []core.SystemObjective
-	for _, name := range strings.Split(s, ",") {
-		o, ok := systemObjectiveNames[strings.TrimSpace(strings.ToLower(name))]
-		if !ok {
-			return nil, fmt.Errorf("unknown system objective %q", name)
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
 		}
-		out = append(out, o)
 	}
-	if len(out) < 2 {
-		return nil, fmt.Errorf("need at least two objectives, got %d", len(out))
-	}
-	return out, nil
+	return out
 }

@@ -2,10 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"os"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/service"
 )
 
 func small(extra ...string) []string {
@@ -152,6 +157,49 @@ func TestRunGraphFile(t *testing.T) {
 	}
 	if err := run(small("-graph-file", dir+"/missing.tgff"), &buf); err == nil {
 		t.Fatal("missing graph file accepted")
+	}
+}
+
+func TestRunJSONRoundTrip(t *testing.T) {
+	// The -json output must be exactly the service wire form of the same
+	// spec: decode the CLI's output, re-run the equivalent spec through
+	// the service layer, and compare structs field for field. A re-encode
+	// must also reproduce the decoded form byte for byte.
+	var buf bytes.Buffer
+	if err := run(small("-method", "fcclr", "-json"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var got service.FrontWire
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("CLI -json output is not a wire front: %v\n%s", err, buf.String())
+	}
+	if len(got.Points) == 0 || got.Evaluations == 0 {
+		t.Fatalf("empty front on the wire: %+v", got)
+	}
+
+	spec := service.JobSpec{App: "sobel", Method: "fcclr", Pop: 16, Gens: 6, Seed: 1}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	front, err := service.Execute(context.Background(), &spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := service.FrontToWire(front)
+	if !reflect.DeepEqual(&got, want) {
+		t.Fatalf("CLI -json front diverges from the service wire form:\ncli:  %+v\napi:  %+v", got, want)
+	}
+
+	re, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again service.FrontWire
+	if err := json.Unmarshal(re, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, again) {
+		t.Fatal("wire front does not survive a JSON round trip")
 	}
 }
 

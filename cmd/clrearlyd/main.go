@@ -1,0 +1,89 @@
+// Command clrearlyd serves CL(R)Early DSE as a long-running HTTP service:
+// jobs are submitted as JSON specs, queued into a bounded FIFO, run by a
+// worker pool whose GAs share the process-wide CPU-token budget, and
+// streamed back as generation-by-generation SSE progress plus a typed
+// Pareto front. Identical specs are served from an LRU result cache.
+//
+// Usage:
+//
+//	clrearlyd [-addr :8080] [-workers N] [-queue N] [-cache N] [-drain 30s]
+//
+// API:
+//
+//	POST   /v1/jobs             submit a job spec, returns the job status
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status (+ Pareto front when done)
+//	GET    /v1/jobs/{id}/events SSE stream of per-generation progress
+//	DELETE /v1/jobs/{id}        cancel (queued or running)
+//	GET    /healthz             liveness probe
+//	GET    /metrics             jobs by state, queue depth, cache hit
+//	                            rate, per-method latency histograms
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "clrearlyd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("clrearlyd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 2, "concurrent job runners (their GAs share the CPU-token pool)")
+	queueCap := fs.Int("queue", 64, "queued-job capacity; beyond it submissions get 503")
+	cacheCap := fs.Int("cache", 128, "LRU result-cache capacity (fronts)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline for running jobs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc := service.New(service.Config{
+		QueueCap: *queueCap,
+		Workers:  *workers,
+		CacheCap: *cacheCap,
+	})
+	hs := &http.Server{Addr: *addr, Handler: svc}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("clrearlyd listening on %s (workers=%d queue=%d cache=%d)",
+			*addr, *workers, *queueCap, *cacheCap)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining running jobs (deadline %s)", *drain)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(shCtx); err != nil {
+		log.Printf("job drain hit deadline; running jobs were cancelled")
+	}
+	log.Printf("clrearlyd stopped")
+	return nil
+}

@@ -94,7 +94,7 @@ func PfCLRWithSeeds(inst *Instance, cfg RunConfig, flib *tdse.Library, seeds []*
 		return nil, err
 	}
 	p := newPFProblem(inst, flib)
-	return runProblem(p, p.decodeResult, cfg, seeds)
+	return runProblem(p, p.decodeResult, cfg, seeds, "pfclr")
 }
 
 // EvaluatePFMapping decodes a pfCLR-encoded genome (as produced by

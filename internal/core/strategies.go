@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -73,6 +74,33 @@ type RunConfig struct {
 	// every value — per-run seeds are derived from Seed, never from
 	// scheduling.
 	Jobs int
+	// Ctx, when non-nil, cancels the run between GA generations: the
+	// strategy stops within one generation of cancellation and returns
+	// ctx.Err() (possibly wrapped with the failing stage). Cancellation
+	// never perturbs the RNG stream, so an uncancelled run is identical
+	// with or without Ctx.
+	Ctx context.Context
+	// Progress, when non-nil, receives one event per completed GA
+	// generation, labeled with the stage that produced it ("pfclr",
+	// "fcclr", "mapping", or a Layer name). Strategies that run stages
+	// concurrently (Agnostic with Jobs ≠ 1) invoke it from several
+	// goroutines, so handlers must be safe for concurrent use.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent reports per-generation progress of one optimization stage
+// of a strategy run.
+type ProgressEvent struct {
+	// Stage names the GA stage: "pfclr", "fcclr", "mapping" or a layer
+	// name ("DVFS", "HWRel", "SSWRel", "ASWRel").
+	Stage string
+	// Generation counts completed generations within the stage (0 is the
+	// evaluated initial population); Generations is the stage's budget.
+	Generation, Generations int
+	// Evaluations counts fitness evaluations spent in this stage so far.
+	Evaluations int
+	// ArchiveSize is the stage's current non-dominated archive size.
+	ArchiveSize int
 }
 
 // DefaultRunConfig is a moderate budget suitable for the paper-scale
@@ -81,21 +109,36 @@ func DefaultRunConfig(seed int64) RunConfig {
 	return RunConfig{Pop: 80, Gens: 60, Seed: seed}
 }
 
-func (c RunConfig) params() moea.Params {
+// paramsFor builds the GA parameters for one named stage, threading the
+// config's context and wrapping its progress callback with the stage label.
+func (c RunConfig) paramsFor(stage string) moea.Params {
 	p := moea.DefaultParams(c.Pop, c.Gens, c.Seed)
 	p.Workers = c.Workers
+	p.Ctx = c.Ctx
+	if c.Progress != nil {
+		progress := c.Progress
+		p.OnGeneration = func(g moea.GenerationInfo) {
+			progress(ProgressEvent{
+				Stage:       stage,
+				Generation:  g.Generation,
+				Generations: g.Generations,
+				Evaluations: g.Evaluations,
+				ArchiveSize: g.ArchiveSize,
+			})
+		}
+	}
 	return p
 }
 
 // runProblem executes the selected engine and decodes the archive front.
-func runProblem(p moea.Problem, decode func(*moea.Genome) *schedule.Result, cfg RunConfig, seeds []*moea.Genome) (*Front, error) {
+func runProblem(p moea.Problem, decode func(*moea.Genome) *schedule.Result, cfg RunConfig, seeds []*moea.Genome, stage string) (*Front, error) {
 	var res *moea.Result
 	var err error
 	switch cfg.Engine {
 	case NSGA2:
-		res, err = moea.Run(p, cfg.params(), seeds)
+		res, err = moea.Run(p, cfg.paramsFor(stage), seeds)
 	case MOEAD:
-		res, err = moea.RunMOEAD(p, cfg.params(), seeds)
+		res, err = moea.RunMOEAD(p, cfg.paramsFor(stage), seeds)
 	default:
 		return nil, fmt.Errorf("core: unknown engine %d", int(cfg.Engine))
 	}
@@ -120,7 +163,7 @@ func FcCLR(inst *Instance, cfg RunConfig) (*Front, error) {
 		return nil, err
 	}
 	p := newFCProblem(inst, allFree)
-	return runProblem(p, p.decodeResult, cfg, nil)
+	return runProblem(p, p.decodeResult, cfg, nil, "fcclr")
 }
 
 // PfCLR runs the task-level-Pareto-filtered task mapping (§V.B.2) over the
@@ -133,7 +176,7 @@ func PfCLR(inst *Instance, cfg RunConfig, flib *tdse.Library) (*Front, error) {
 		return nil, err
 	}
 	p := newPFProblem(inst, flib)
-	return runProblem(p, p.decodeResult, cfg, nil)
+	return runProblem(p, p.decodeResult, cfg, nil, "pfclr")
 }
 
 // Proposed runs the paper's two-stage methodology (§V.B.3, Fig. 4(b)):
@@ -173,7 +216,7 @@ func ProposedFrom(inst *Instance, cfg RunConfig, flib *tdse.Library, pfStage *Fr
 	fcCfg := cfg
 	fcCfg.Seed = cfg.Seed + 1
 	p := newFCProblem(inst, allFree)
-	front, err := runProblem(p, p.decodeResult, fcCfg, seeds)
+	front, err := runProblem(p, p.decodeResult, fcCfg, seeds, "fcclr")
 	if err != nil {
 		return nil, fmt.Errorf("core: seeded fcCLR stage: %w", err)
 	}
@@ -302,7 +345,7 @@ func MappingOnly(inst *Instance, cfg RunConfig) (*Front, error) {
 		return nil, err
 	}
 	p := newFCProblem(inst, layerRestriction{})
-	return runProblem(p, p.decodeResult, cfg, nil)
+	return runProblem(p, p.decodeResult, cfg, nil, "mapping")
 }
 
 // SingleLayer models the traditional other-layer-agnostic design flow: the
@@ -319,7 +362,7 @@ func SingleLayer(inst *Instance, cfg RunConfig, layer Layer) (*Front, error) {
 		return nil, err
 	}
 	p := newFCProblem(inst, r)
-	return runProblem(p, p.decodeResult, cfg, nil)
+	return runProblem(p, p.decodeResult, cfg, nil, layer.String())
 }
 
 // SingleLayerFixed explores one reliability layer in the strict Π C_t
@@ -387,7 +430,7 @@ func singleLayerFrom(inst *Instance, cfg RunConfig, layer Layer, baseline Point)
 	}
 	r.fixedGenes = baseline.Genome.Genes
 	p := newFCProblem(inst, r)
-	params := cfg.params()
+	params := cfg.paramsFor(layer.String())
 	params.Seed = cfg.Seed + 7
 	params.FixedOrder = baseline.Genome.Order
 	res, err := moea.Run(p, params, nil)

@@ -1,6 +1,7 @@
 package moea
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -37,6 +38,57 @@ type Params struct {
 	// configuration-only searches (Eq. 5's "cross-layer-reliability only"
 	// space, where task mapping and scheduling are not degrees of freedom).
 	FixedOrder []int
+	// Ctx, when non-nil, is polled between generations: once it is
+	// cancelled the run stops before starting the next generation and
+	// returns ctx.Err(). A run is therefore cancellable within one
+	// generation's worth of work. Cancellation never affects the RNG
+	// stream, so an uncancelled run is byte-identical with or without Ctx.
+	Ctx context.Context
+	// OnGeneration, when non-nil, is invoked synchronously after the
+	// initial population evaluation (Generation 0) and after every
+	// completed generation — the progress hook used by the service layer
+	// to stream generation-by-generation updates. It must be fast: the GA
+	// blocks on it.
+	OnGeneration func(GenerationInfo)
+}
+
+// GenerationInfo is a per-generation progress report delivered through
+// Params.OnGeneration.
+type GenerationInfo struct {
+	// Generation counts completed generations; 0 is the evaluated initial
+	// population.
+	Generation int
+	// Generations is the run's total generation budget.
+	Generations int
+	// Evaluations counts fitness evaluations spent so far.
+	Evaluations int
+	// ArchiveSize is the current size of the external non-dominated
+	// archive (feasible solutions only).
+	ArchiveSize int
+}
+
+// cancelled reports the context error once the run's context is done.
+func (p Params) cancelled() error {
+	if p.Ctx != nil {
+		select {
+		case <-p.Ctx.Done():
+			return p.Ctx.Err()
+		default:
+		}
+	}
+	return nil
+}
+
+// emit delivers a progress report to OnGeneration when set.
+func (p Params) emit(gen, evals, archive int) {
+	if p.OnGeneration != nil {
+		p.OnGeneration(GenerationInfo{
+			Generation:  gen,
+			Generations: p.Generations,
+			Evaluations: evals,
+			ArchiveSize: archive,
+		})
+	}
 }
 
 // DefaultParams returns the evaluation configuration of the paper for a
@@ -137,6 +189,9 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		}
 	}
 
+	if err := params.cancelled(); err != nil {
+		return nil, err
+	}
 	res := &Result{}
 	evaluate(p, pop, params.Workers)
 	res.Evaluations += len(pop)
@@ -149,7 +204,11 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 	archive = updateArchive(archive, pop, archiveCap)
 
 	rankAndCrowd(pop)
+	params.emit(0, res.Evaluations, len(archive))
 	for gen := 0; gen < params.Generations; gen++ {
+		if err := params.cancelled(); err != nil {
+			return nil, err
+		}
 		// Variation: tournaments pick parents; the paper's two crossovers
 		// and two mutations produce the offspring.
 		offspring := make([]*solution, 0, params.PopSize)
@@ -197,6 +256,7 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		}
 		pop = next
 		rankAndCrowd(pop)
+		params.emit(gen+1, res.Evaluations, len(archive))
 	}
 
 	for _, s := range archive {

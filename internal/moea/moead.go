@@ -53,6 +53,9 @@ func RunMOEAD(p Problem, params Params, seeds []*Genome) (*Result, error) {
 			s.genome.Order = append([]int(nil), params.FixedOrder...)
 		}
 	}
+	if err := params.cancelled(); err != nil {
+		return nil, err
+	}
 	evaluate(p, pop, params.Workers)
 	res := &Result{Evaluations: len(pop)}
 
@@ -78,8 +81,12 @@ func RunMOEAD(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		archiveCap = 256
 	}
 	archive := updateArchive(nil, pop, archiveCap)
+	params.emit(0, res.Evaluations, len(archive))
 
 	for gen := 0; gen < params.Generations; gen++ {
+		if err := params.cancelled(); err != nil {
+			return nil, err
+		}
 		for i := range pop {
 			nb := neighbors[i]
 			a := pop[nb[rng.Intn(len(nb))]].genome.Clone()
@@ -111,6 +118,7 @@ func RunMOEAD(p Problem, params Params, seeds []*Genome) (*Result, error) {
 				}
 			}
 		}
+		params.emit(gen+1, res.Evaluations, len(archive))
 	}
 
 	for _, s := range archive {

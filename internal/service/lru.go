@@ -1,0 +1,53 @@
+package service
+
+import "container/list"
+
+// lruCache is a fixed-capacity least-recently-used map from spec hashes to
+// finished fronts. Not safe for concurrent use; the server guards it with
+// its own mutex.
+type lruCache struct {
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key   string
+	front *FrontWire
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached front and refreshes its recency.
+func (c *lruCache) Get(key string) (*FrontWire, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).front, true
+}
+
+// Add inserts or refreshes an entry, evicting the least recently used one
+// beyond capacity.
+func (c *lruCache) Add(key string, front *FrontWire) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).front = front
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, front: front})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+// Len is the current entry count.
+func (c *lruCache) Len() int { return c.order.Len() }

@@ -1,0 +1,494 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config sizes the job service.
+type Config struct {
+	// QueueCap bounds the number of jobs waiting to run (default 64);
+	// submissions beyond it are rejected with 503.
+	QueueCap int
+	// Workers is the number of concurrent job runners (default 2). Each
+	// running job's GA draws its fitness-evaluation workers from the
+	// process-wide CPU-token pool (sweep.AcquireWorkers) at generation
+	// granularity, so concurrent jobs divide the machine instead of
+	// oversubscribing it; Workers therefore controls how many jobs make
+	// progress at once, not how many CPUs are used.
+	Workers int
+	// CacheCap bounds the LRU result cache (default 128 fronts).
+	CacheCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.CacheCap <= 0 {
+		c.CacheCap = 128
+	}
+	return c
+}
+
+// job is the server-side state of one submitted run.
+type job struct {
+	id   string
+	spec JobSpec
+	hash string
+
+	mu        sync.Mutex
+	state     string
+	cached    bool
+	errMsg    string
+	front     *FrontWire
+	progress  *ProgressWire
+	cancel    context.CancelFunc // set while running
+	subs      map[chan ProgressWire]struct{}
+	done      chan struct{} // closed on terminal state
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// wire snapshots the job's status; includeFront attaches the result of a
+// finished job.
+func (j *job) wire(includeFront bool) *JobWire {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	w := &JobWire{
+		ID:          j.id,
+		State:       j.state,
+		Method:      j.spec.Method,
+		SpecHash:    j.hash,
+		Cached:      j.cached,
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted,
+	}
+	if j.progress != nil {
+		p := *j.progress
+		w.Progress = &p
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		w.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		w.FinishedAt = &t
+	}
+	if includeFront && j.state == StateDone {
+		w.Front = j.front
+	}
+	return w
+}
+
+// Server is the DSE job service: a bounded FIFO queue drained by a fixed
+// worker pool, an LRU result cache keyed by the canonical spec hash, and
+// the HTTP API on top. Create with New, serve via http.Server, stop with
+// Shutdown.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	queue   chan *job
+	baseCtx context.Context
+	abort   context.CancelFunc // cancels all running jobs (forced shutdown)
+	metrics *Metrics
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for listing
+	cache    *lruCache
+	draining bool
+	nextID   int64
+}
+
+// New starts a job service with cfg's queue, worker-pool and cache sizes.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, abort := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *job, cfg.QueueCap),
+		baseCtx: ctx,
+		abort:   abort,
+		metrics: newMetrics(),
+		jobs:    make(map[string]*job),
+		cache:   newLRUCache(cfg.CacheCap),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown stops the service gracefully: new submissions are rejected,
+// still-queued jobs are cancelled, and running jobs are drained until ctx
+// expires, at which point their contexts are cancelled (each GA then stops
+// within one generation) and Shutdown waits for them to unwind.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		for _, id := range s.order {
+			j := s.jobs[id]
+			j.mu.Lock()
+			if j.state == StateQueued {
+				s.finishLocked(j, StateCancelled, "service shutting down")
+			}
+			j.mu.Unlock()
+		}
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.abort()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// ---- job execution ----
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.state = StateRunning
+	j.cancel = cancel
+	j.started = time.Now()
+	j.mu.Unlock()
+	defer cancel()
+
+	total := j.spec.TotalGenerations()
+	front, err := Execute(ctx, &j.spec, func(e core.ProgressEvent) {
+		s.publishProgress(j, e, total)
+	})
+
+	j.mu.Lock()
+	j.cancel = nil
+	switch {
+	case ctx.Err() != nil:
+		s.finishLocked(j, StateCancelled, "cancelled")
+	case err != nil:
+		s.finishLocked(j, StateFailed, err.Error())
+	default:
+		j.front = FrontToWire(front)
+		s.finishLocked(j, StateDone, "")
+	}
+	j.mu.Unlock()
+
+	if j.front != nil {
+		s.mu.Lock()
+		s.cache.Add(j.hash, j.front)
+		s.mu.Unlock()
+	}
+	s.metrics.observeLatency(j.spec.Method, time.Since(j.started))
+}
+
+// finishLocked moves a job (whose mu the caller holds) to a terminal state.
+func (s *Server) finishLocked(j *job, state, errMsg string) {
+	j.state = state
+	if state != StateDone {
+		j.errMsg = errMsg
+	}
+	j.finished = time.Now()
+	close(j.done)
+}
+
+// publishProgress records the latest generation report and fans it out to
+// SSE subscribers. Slow subscribers drop events rather than stall the GA.
+func (s *Server) publishProgress(j *job, e core.ProgressEvent, total int) {
+	p := ProgressWire{
+		Stage:            e.Stage,
+		Generation:       e.Generation,
+		Generations:      e.Generations,
+		TotalGenerations: total,
+		Evaluations:      e.Evaluations,
+		ArchiveSize:      e.ArchiveSize,
+	}
+	j.mu.Lock()
+	j.progress = &p
+	for sub := range j.subs {
+		select {
+		case sub <- p:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// ---- HTTP handlers ----
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding job spec: %v", err))
+		return
+	}
+	if err := spec.Normalize(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Materialize the instance once up front so malformed specs (e.g. bad
+	// inline graphs) fail fast with 400 instead of failing the job later.
+	if _, _, err := Build(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	hash := spec.Hash()
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "service shutting down")
+		return
+	}
+	s.metrics.incSubmitted()
+	s.nextID++
+	j := &job{
+		id:        fmt.Sprintf("j%06d", s.nextID),
+		spec:      spec,
+		hash:      hash,
+		subs:      make(map[chan ProgressWire]struct{}),
+		done:      make(chan struct{}),
+		submitted: time.Now(),
+	}
+	if front, ok := s.cache.Get(hash); ok {
+		// Same canonical spec (incl. seed) → same deterministic front:
+		// serve the cached result without running.
+		s.metrics.incCacheHit()
+		j.state = StateDone
+		j.cached = true
+		j.front = front
+		j.finished = j.submitted
+		close(j.done)
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, j.wire(true))
+		return
+	}
+	s.metrics.incCacheMiss()
+	j.state = StateQueued
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID--
+		s.metrics.incRejected()
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("queue full (%d jobs waiting)", s.cfg.QueueCap))
+		return
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, j.wire(false))
+}
+
+func (s *Server) lookup(r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	return j, ok
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.wire(true))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, len(s.order))
+	for i, id := range s.order {
+		jobs[i] = s.jobs[id]
+	}
+	s.mu.Unlock()
+	out := make([]*JobWire, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.wire(false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		// The job stays in the queue channel; the worker skips it.
+		s.finishLocked(j, StateCancelled, "cancelled")
+	case StateRunning:
+		// The GA polls the context between generations, so the run stops
+		// within one generation; the worker then marks the job cancelled.
+		j.cancel()
+	}
+	j.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, j.wire(false))
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	// Coalescing buffer: the GA never blocks on a slow consumer; a full
+	// buffer drops intermediate generations, the terminal event always
+	// carries the final state.
+	sub := make(chan ProgressWire, 16)
+	j.mu.Lock()
+	j.subs[sub] = struct{}{}
+	j.mu.Unlock()
+	defer func() {
+		j.mu.Lock()
+		delete(j.subs, sub)
+		j.mu.Unlock()
+	}()
+
+	writeSSE(w, "status", j.wire(false))
+	flusher.Flush()
+	for {
+		select {
+		case p := <-sub:
+			writeSSE(w, "progress", p)
+			flusher.Flush()
+		case <-j.done:
+			// Drain progress that raced with completion, then emit the
+			// terminal event named after the final state.
+			for {
+				select {
+				case p := <-sub:
+					writeSSE(w, "progress", p)
+				default:
+					final := j.wire(true)
+					writeSSE(w, final.State, final)
+					flusher.Flush()
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics.snapshot()
+	m.Queue = QueueWire{Depth: len(s.queue), Capacity: s.cfg.QueueCap}
+	s.mu.Lock()
+	m.Cache.Size = s.cache.Len()
+	m.Cache.Capacity = s.cfg.CacheCap
+	jobs := make([]*job, len(s.order))
+	for i, id := range s.order {
+		jobs[i] = s.jobs[id]
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			m.Jobs.Queued++
+		case StateRunning:
+			m.Jobs.Running++
+		case StateDone:
+			m.Jobs.Done++
+		case StateFailed:
+			m.Jobs.Failed++
+		case StateCancelled:
+			m.Jobs.Cancelled++
+		}
+		j.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// ---- helpers ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeSSE(w http.ResponseWriter, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

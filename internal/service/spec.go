@@ -1,0 +1,284 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/characterize"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/relmodel"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+	"repro/internal/tdse"
+	"repro/internal/tgff"
+)
+
+// Constraints are the QoS bounds of Eq. 5; zero values mean unconstrained.
+type Constraints struct {
+	MaxMakespanUS    float64 `json:"max_makespan_us,omitempty"`
+	MinFunctionalRel float64 `json:"min_functional_rel,omitempty"`
+	MinMTTFHours     float64 `json:"min_mttf_hours,omitempty"`
+	MaxEnergyUJ      float64 `json:"max_energy_uj,omitempty"`
+	MaxPeakPowerW    float64 `json:"max_peak_power_w,omitempty"`
+}
+
+// JobSpec is the canonical description of one DSE run, shared by the HTTP
+// API (POST /v1/jobs) and the CLI. Its normalized JSON form is the result
+// cache key: two submissions with the same normalized spec (including the
+// seed) are the same deterministic computation.
+type JobSpec struct {
+	// App selects a built-in application: sobel (default), jpeg or
+	// synthetic; GraphText, when non-empty, supplies an inline TGFF-style
+	// task graph instead and overrides App.
+	App       string `json:"app,omitempty"`
+	GraphText string `json:"graph_text,omitempty"`
+	// Tasks is the synthetic application's task count (default 20).
+	Tasks int `json:"tasks,omitempty"`
+	// Method is the DSE method: proposed (default), fcclr, pfclr or
+	// agnostic.
+	Method string `json:"method,omitempty"`
+	// Pop, Gens and Seed configure the GA (defaults 60, 40, 1).
+	Pop  int   `json:"pop,omitempty"`
+	Gens int   `json:"gens,omitempty"`
+	Seed int64 `json:"seed,omitempty"`
+	// Engine selects the MOEA family: nsga2 (default) or moead.
+	Engine string `json:"engine,omitempty"`
+	// Jobs bounds strategy-internal run-level parallelism (core.RunConfig
+	// semantics; results are identical for every value).
+	Jobs int `json:"jobs,omitempty"`
+	// Catalog selects the reliability method catalog: default or extended.
+	Catalog string `json:"catalog,omitempty"`
+	// Objectives are system objectives by name: makespan, errprob,
+	// lifetime, energy, power (default ["makespan","errprob"]).
+	Objectives  []string    `json:"objectives,omitempty"`
+	Constraints Constraints `json:"constraints,omitempty"`
+	// CommStartupUS / CommPerKBUS enable the interconnect model; both zero
+	// reproduce the paper's communication-free estimation.
+	CommStartupUS float64 `json:"comm_startup_us,omitempty"`
+	CommPerKBUS   float64 `json:"comm_per_kb_us,omitempty"`
+	// EnforceMemory enables the per-PE local-memory storage constraint.
+	EnforceMemory bool `json:"enforce_memory,omitempty"`
+}
+
+var systemObjectiveNames = map[string]core.SystemObjective{
+	"makespan": core.Makespan,
+	"errprob":  core.AppErrProb,
+	"lifetime": core.Lifetime,
+	"energy":   core.Energy,
+	"power":    core.PeakPower,
+}
+
+// Normalize fills defaults, lower-cases the enum fields and validates the
+// spec. It must be called before Hash, Build or Execute.
+func (s *JobSpec) Normalize() error {
+	s.App = strings.ToLower(strings.TrimSpace(s.App))
+	s.Method = strings.ToLower(strings.TrimSpace(s.Method))
+	s.Engine = strings.ToLower(strings.TrimSpace(s.Engine))
+	s.Catalog = strings.ToLower(strings.TrimSpace(s.Catalog))
+	if s.GraphText != "" {
+		s.App = ""
+	} else {
+		if s.App == "" {
+			s.App = "sobel"
+		}
+		switch s.App {
+		case "sobel", "jpeg", "synthetic":
+		default:
+			return fmt.Errorf("service: unknown application %q", s.App)
+		}
+	}
+	if s.App != "synthetic" {
+		s.Tasks = 0
+	} else if s.Tasks == 0 {
+		s.Tasks = 20
+	} else if s.Tasks < 1 {
+		return fmt.Errorf("service: task count %d must be ≥ 1", s.Tasks)
+	}
+	if s.Method == "" {
+		s.Method = "proposed"
+	}
+	switch s.Method {
+	case "proposed", "fcclr", "pfclr", "agnostic":
+	default:
+		return fmt.Errorf("service: unknown method %q", s.Method)
+	}
+	if s.Engine == "" {
+		s.Engine = "nsga2"
+	}
+	switch s.Engine {
+	case "nsga2", "moead":
+	default:
+		return fmt.Errorf("service: unknown engine %q", s.Engine)
+	}
+	if s.Catalog == "" {
+		s.Catalog = "default"
+	}
+	switch s.Catalog {
+	case "default", "extended":
+	default:
+		return fmt.Errorf("service: unknown catalog %q", s.Catalog)
+	}
+	if s.Pop == 0 {
+		s.Pop = 60
+	}
+	if s.Gens == 0 {
+		s.Gens = 40
+	}
+	if s.Pop < 2 || s.Gens < 1 {
+		return fmt.Errorf("service: population %d / generations %d out of range", s.Pop, s.Gens)
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if len(s.Objectives) == 0 {
+		s.Objectives = []string{"makespan", "errprob"}
+	}
+	for i, name := range s.Objectives {
+		name = strings.ToLower(strings.TrimSpace(name))
+		if _, ok := systemObjectiveNames[name]; !ok {
+			return fmt.Errorf("service: unknown system objective %q", name)
+		}
+		s.Objectives[i] = name
+	}
+	if len(s.Objectives) < 2 {
+		return fmt.Errorf("service: need at least two objectives, got %d", len(s.Objectives))
+	}
+	return nil
+}
+
+// Hash is the canonical content hash of a normalized spec — the result
+// cache key. Struct field order fixes the JSON byte stream, so equal specs
+// hash equally.
+func (s *JobSpec) Hash() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// A JobSpec of plain scalars and strings cannot fail to marshal.
+		panic("service: spec hash: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// needsLibrary reports whether the method runs on the tDSE-filtered
+// implementation library.
+func (s *JobSpec) needsLibrary() bool {
+	return s.Method == "proposed" || s.Method == "pfclr"
+}
+
+// TotalGenerations is the job's whole generation budget across all stages
+// of its method — the denominator for progress reporting.
+func (s *JobSpec) TotalGenerations() int {
+	switch s.Method {
+	case "proposed":
+		return 2 * s.Gens
+	case "agnostic":
+		return 4 * s.Gens
+	default:
+		return s.Gens
+	}
+}
+
+// Build materializes a normalized spec into a DSE instance and, for
+// methods that need it, the task-level Pareto-filtered library.
+func Build(s *JobSpec) (*core.Instance, *tdse.Library, error) {
+	p := platform.Default()
+	cat := relmodel.DefaultCatalog()
+	if s.Catalog == "extended" {
+		cat = relmodel.ExtendedCatalog()
+	}
+	objs := make([]core.SystemObjective, len(s.Objectives))
+	for i, name := range s.Objectives {
+		objs[i] = systemObjectiveNames[name]
+	}
+	inst := &core.Instance{
+		Platform:      p,
+		Catalog:       cat,
+		Objectives:    objs,
+		Comm:          schedule.CommModel{StartupUS: s.CommStartupUS, PerKBUS: s.CommPerKBUS},
+		EnforceMemory: s.EnforceMemory,
+		Spec: schedule.Spec{
+			MaxMakespanUS:    s.Constraints.MaxMakespanUS,
+			MinFunctionalRel: s.Constraints.MinFunctionalRel,
+			MinMTTFHours:     s.Constraints.MinMTTFHours,
+			MaxEnergyUJ:      s.Constraints.MaxEnergyUJ,
+			MaxPeakPowerW:    s.Constraints.MaxPeakPowerW,
+		},
+	}
+	switch {
+	case s.GraphText != "":
+		g, err := tgff.ParseText(strings.NewReader(s.GraphText))
+		if err != nil {
+			return nil, nil, fmt.Errorf("service: parsing graph text: %w", err)
+		}
+		inst.Graph = g
+		inst.Lib = characterize.Synthetic(p, characterize.DefaultSyntheticConfig(g.NumTypes()), s.Seed+500)
+	case s.App == "sobel":
+		inst.Graph = taskgraph.Sobel()
+		inst.Lib = characterize.Sobel(p)
+	case s.App == "jpeg":
+		inst.Graph = taskgraph.JPEG()
+		inst.Lib = characterize.JPEG(p)
+	default: // synthetic; Normalize rejected everything else
+		inst.Graph = tgff.MustGenerate(tgff.DefaultConfig(s.Tasks), s.Seed)
+		inst.Lib = characterize.Synthetic(p, characterize.DefaultSyntheticConfig(10), s.Seed+500)
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, nil, err
+	}
+	var flib *tdse.Library
+	if s.needsLibrary() {
+		var err error
+		flib, err = tdse.Build(inst.Lib, p, inst.Catalog, tdse.DefaultOptions(),
+			[]tdse.Objective{tdse.AvgExT, tdse.ErrProb})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return inst, flib, nil
+}
+
+// ExecuteOn runs the spec's method on an already-built instance. ctx
+// cancels the run between GA generations; progress (optional) receives
+// generation-by-generation events and may be invoked concurrently for
+// methods with parallel stages.
+func ExecuteOn(ctx context.Context, inst *core.Instance, flib *tdse.Library, s *JobSpec, progress func(core.ProgressEvent)) (*core.Front, error) {
+	cfg := core.RunConfig{
+		Pop:      s.Pop,
+		Gens:     s.Gens,
+		Seed:     s.Seed,
+		Jobs:     s.Jobs,
+		Ctx:      ctx,
+		Progress: progress,
+	}
+	if s.Engine == "moead" {
+		cfg.Engine = core.MOEAD
+	}
+	switch s.Method {
+	case "proposed":
+		return core.Proposed(inst, cfg, flib)
+	case "fcclr":
+		return core.FcCLR(inst, cfg)
+	case "pfclr":
+		return core.PfCLR(inst, cfg, flib)
+	case "agnostic":
+		front, _, err := core.Agnostic(inst, cfg)
+		return front, err
+	default:
+		return nil, fmt.Errorf("service: unknown method %q", s.Method)
+	}
+}
+
+// Execute builds the spec's instance and runs it — the one-call entry
+// point shared by the CLI and the service workers.
+func Execute(ctx context.Context, s *JobSpec, progress func(core.ProgressEvent)) (*core.Front, error) {
+	inst, flib, err := Build(s)
+	if err != nil {
+		return nil, err
+	}
+	return ExecuteOn(ctx, inst, flib, s, progress)
+}

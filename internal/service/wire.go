@@ -1,0 +1,105 @@
+// Package service turns the CL(R)Early DSE engine into a long-running
+// job service: typed wire structs shared by the HTTP API and the CLI's
+// -json output, a canonical job specification with a content hash for
+// result caching, and a bounded job-queue server with cancellable GA runs,
+// server-sent-event progress streams and expvar-style metrics.
+package service
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// PointWire is one Pareto point on the wire: the raw objective vector the
+// GA minimized plus the full system-level QoS metrics of the design.
+type PointWire struct {
+	Objectives    []float64 `json:"objectives"`
+	MakespanUS    float64   `json:"makespan_us"`
+	FunctionalRel float64   `json:"functional_rel"`
+	ErrProb       float64   `json:"err_prob"`
+	MTTFHours     float64   `json:"mttf_hours"`
+	EnergyUJ      float64   `json:"energy_uj"`
+	PeakPowerW    float64   `json:"peak_power_w"`
+}
+
+// FrontWire is a Pareto front on the wire.
+type FrontWire struct {
+	Points      []PointWire `json:"points"`
+	Evaluations int         `json:"evaluations"`
+}
+
+// FrontToWire converts a core front into its wire form. Points are sorted
+// by (makespan, error probability, energy) so identical fronts serialize
+// identically regardless of archive ordering.
+func FrontToWire(f *core.Front) *FrontWire {
+	out := &FrontWire{Evaluations: f.Evaluations, Points: make([]PointWire, 0, len(f.Points))}
+	for _, p := range f.Points {
+		q := p.QoS
+		out.Points = append(out.Points, PointWire{
+			Objectives:    append([]float64(nil), p.Objectives...),
+			MakespanUS:    q.MakespanUS,
+			FunctionalRel: q.FunctionalRel,
+			ErrProb:       q.ErrProb,
+			MTTFHours:     q.MTTFHours,
+			EnergyUJ:      q.EnergyUJ,
+			PeakPowerW:    q.PeakPowerW,
+		})
+	}
+	sort.Slice(out.Points, func(i, j int) bool {
+		a, b := out.Points[i], out.Points[j]
+		if a.MakespanUS != b.MakespanUS {
+			return a.MakespanUS < b.MakespanUS
+		}
+		if a.ErrProb != b.ErrProb {
+			return a.ErrProb < b.ErrProb
+		}
+		return a.EnergyUJ < b.EnergyUJ
+	})
+	return out
+}
+
+// ProgressWire is one generation-by-generation progress event of a running
+// job, as streamed over SSE and embedded in job status responses.
+type ProgressWire struct {
+	// Stage names the GA stage emitting the event ("pfclr", "fcclr",
+	// "mapping" or a reliability-layer name).
+	Stage string `json:"stage"`
+	// Generation / Generations are the completed count and budget within
+	// the stage; TotalGenerations is the whole job's budget across stages.
+	Generation       int `json:"generation"`
+	Generations      int `json:"generations"`
+	TotalGenerations int `json:"total_generations"`
+	// Evaluations counts fitness evaluations spent in the stage so far.
+	Evaluations int `json:"evaluations"`
+	// ArchiveSize is the stage's current non-dominated archive size.
+	ArchiveSize int `json:"archive_size"`
+}
+
+// Job states as reported on the wire.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// JobWire is the status representation of one job.
+type JobWire struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Method   string `json:"method"`
+	SpecHash string `json:"spec_hash"`
+	// Cached marks a job served from the result cache without running.
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Progress is the latest generation report (running or finished jobs).
+	Progress    *ProgressWire `json:"progress,omitempty"`
+	SubmittedAt time.Time     `json:"submitted_at"`
+	StartedAt   *time.Time    `json:"started_at,omitempty"`
+	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
+	// Front is present once the job is done.
+	Front *FrontWire `json:"front,omitempty"`
+}

@@ -34,6 +34,14 @@ func Jobs(n int) int {
 // GOMAXPROCS) and returns the error of the lowest-indexed failing task, so
 // the reported error does not depend on scheduling. With jobs == 1 the
 // tasks run inline on the calling goroutine in order.
+//
+// Once any task has failed, not-yet-started tasks are no longer dispatched:
+// results past the lowest failing index are discarded anyway, so running
+// them would only burn CPU. In-flight tasks still run to completion.
+// Because tasks are dispatched in index order, every task below a recorded
+// failure has already been dispatched, so the lowest-indexed failure is
+// found regardless of the early stop — the returned error stays identical
+// for every jobs value.
 func Run(jobs int, tasks []func() error) error {
 	jobs = Jobs(jobs)
 	if jobs > len(tasks) {
@@ -49,17 +57,22 @@ func Run(jobs int, tasks []func() error) error {
 	}
 	errs := make([]error, len(tasks))
 	var next atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	wg.Add(jobs)
 	for w := 0; w < jobs; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !failed.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= len(tasks) {
 					return
 				}
-				errs[i] = tasks[i]()
+				if err := tasks[i](); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
 			}
 		}()
 	}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestJobs(t *testing.T) {
@@ -69,6 +70,52 @@ func TestRunSequentialStopsAtFirstError(t *testing.T) {
 	}
 	if ran != 2 {
 		t.Fatalf("sequential run executed %d tasks after error, want 2", ran)
+	}
+}
+
+func TestRunStopsDispatchAfterFailure(t *testing.T) {
+	// Task 0 fails immediately; every other task takes ~20 ms. With 2
+	// workers the failure is recorded microseconds in, so at most the
+	// failing task plus the tasks already in flight ever run — the
+	// remaining ~97 must never be dispatched.
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	tasks := make([]func() error, 100)
+	tasks[0] = func() error { return boom }
+	for i := 1; i < len(tasks); i++ {
+		tasks[i] = func() error {
+			ran.Add(1)
+			time.Sleep(20 * time.Millisecond)
+			return nil
+		}
+	}
+	if err := Run(2, tasks); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if n := ran.Load(); n > 4 {
+		t.Fatalf("%d tasks dispatched after failure, early stop broken", n)
+	}
+}
+
+func TestRunLowestErrorSurvivesEarlyStop(t *testing.T) {
+	// A high-index task fails fast and triggers the early stop while a
+	// lower-index task is still in flight; when that one also fails, its
+	// (lower-index) error must win for every jobs value, because every
+	// task below a recorded failure was already dispatched.
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, jobs := range []int{1, 4} {
+		tasks := []func() error{
+			func() error { return nil },
+			func() error { time.Sleep(30 * time.Millisecond); return errLow },
+			func() error { return nil },
+			func() error { return nil },
+			func() error { return errHigh },
+			func() error { return nil },
+		}
+		if err := Run(jobs, tasks); !errors.Is(err, errLow) {
+			t.Fatalf("jobs=%d: got %v, want lowest-index error %v", jobs, err, errLow)
+		}
 	}
 }
 
