@@ -1,7 +1,7 @@
 GO ?= go
 PORT ?= 8080
 
-.PHONY: build test vet race bench bench-sweep quick full serve
+.PHONY: build test vet race fuzz-smoke validate-quick bench bench-sweep quick full serve
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,22 @@ vet:
 	$(GO) vet ./...
 
 # Race-check the concurrency-bearing packages: the sweep executor, the
-# shared metrics cache in core, the GA evaluate workers in moea, and the
-# job-queue service.
+# shared metrics cache in core, the GA evaluate workers in moea, the
+# job-queue service, and the distributed sweep coordinator.
 race:
-	$(GO) vet ./... && $(GO) test -race ./internal/sweep ./internal/core ./internal/moea ./internal/service
+	$(GO) vet ./... && $(GO) test -race ./internal/sweep ./internal/core ./internal/moea ./internal/service ./internal/dist
+
+# Short continuous-fuzzing pass over the input-parsing surfaces: the TGFF
+# text parser and the JobSpec normalizer. Each target gets 10s on top of
+# the checked-in corpus under testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzParseText -fuzztime 10s ./internal/tgff
+	$(GO) test -run xxx -fuzz FuzzNormalize -fuzztime 10s ./internal/service
+
+# Quick statistical cross-validation of the analytical models against the
+# fault-injection simulator (a reduced-trial version of cmd/validate).
+validate-quick:
+	$(GO) run ./cmd/validate -trials 2000
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x ./...

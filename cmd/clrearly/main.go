@@ -6,6 +6,11 @@
 //	clrearly [-app sobel|jpeg|synthetic] [-tasks N] [-method proposed|fcclr|pfclr|agnostic]
 //	         [-pop N] [-gens N] [-seed N] [-engine nsga2|moead] [-json]
 //	         [-max-makespan US] [-min-frel F] [-min-mttf H] [-max-energy UJ] [-max-power W]
+//	         [-remote host:port,...]
+//
+// -remote offloads the run to one of the given clrearlyd workers (with
+// retries, hedging and a transparent local fallback); the printed front is
+// byte-identical to a local run either way.
 //
 // The synthetic application uses the TGFF-style generator over ten task
 // types; sobel is the five-task edge-detection pipeline of the paper's
@@ -25,6 +30,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/gantt"
 	"repro/internal/schedule"
 	"repro/internal/service"
@@ -60,6 +66,7 @@ func run(args []string, w io.Writer) error {
 	memory := fs.Bool("memory", false, "enforce per-PE local memory capacities")
 	jsonOut := fs.Bool("json", false, "emit the front as JSON in the service wire format")
 	ganttChart := fs.Bool("gantt", false, "render the most reliable mapping as a Gantt chart (proposed/fcclr only)")
+	remote := fs.String("remote", "", "comma-separated clrearlyd worker addresses; offload the run with local fallback")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,6 +105,11 @@ func run(args []string, w io.Writer) error {
 	if *ganttChart && spec.Method != "proposed" && spec.Method != "fcclr" {
 		return fmt.Errorf("-gantt requires a full-configuration method (proposed or fcclr)")
 	}
+	if *ganttChart && *remote != "" {
+		// Genomes do not travel on the wire, so a remote front cannot be
+		// rendered as a schedule.
+		return fmt.Errorf("-gantt requires a local run (drop -remote)")
+	}
 
 	inst, flib, err := service.Build(&spec)
 	if err != nil {
@@ -107,7 +119,19 @@ func run(args []string, w io.Writer) error {
 		fcLog, pfLog := core.SearchSpaceLog10(inst, flib)
 		fmt.Fprintf(w, "design space: fcCLR ≈ 10^%.0f points, pfCLR ≈ 10^%.0f points\n", fcLog, pfLog)
 	}
-	front, err := service.ExecuteOn(context.Background(), inst, flib, &spec, nil)
+	var front *core.Front
+	if *remote != "" {
+		// Dispatch through the federation machinery: retries, hedging and
+		// a local fallback on the already-built instance make the output
+		// byte-identical to a local run even if every worker dies.
+		coord := dist.New(strings.Split(*remote, ","), dist.Options{})
+		defer coord.Close()
+		front, err = coord.RunOne(context.Background(), &spec, func() (*core.Front, error) {
+			return service.ExecuteOn(context.Background(), inst, flib, &spec, nil)
+		})
+	} else {
+		front, err = service.ExecuteOn(context.Background(), inst, flib, &spec, nil)
+	}
 	if err != nil {
 		return err
 	}

@@ -16,6 +16,14 @@
 // ablation arm) execute concurrently; 0 (the default) uses every core.
 // Output is byte-identical for every -jobs value at a fixed -seed — only
 // the per-experiment wall-clock in the section headers differs.
+//
+// -workers host:port,... federates the system-level experiment cells
+// (fig7, table5, fig8, table6) across remote clrearlyd daemons. Remote
+// runs rebuild the exact local instances from seeds and every failure
+// falls back to local execution, so output is byte-identical to a local
+// run for any worker set — including workers dying mid-sweep. Coordinator
+// metrics are printed to stderr when the run finishes. Use -timing=false
+// to drop wall-clock times from section headers when diffing runs.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/experiments"
 )
 
@@ -50,6 +59,8 @@ func run(args []string, w io.Writer) error {
 	sizes := fs.String("sizes", "", "comma-separated task counts for the table sweeps")
 	jobs := fs.Int("jobs", 0, "max concurrent experiment cells (0 = all cores, 1 = sequential)")
 	jsonPath := fs.String("json", "", "also write all results as JSON to this file")
+	workers := fs.String("workers", "", "comma-separated clrearlyd worker addresses for distributed sweeps")
+	timing := fs.Bool("timing", true, "include wall-clock times in section headers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,6 +86,14 @@ func run(args []string, w io.Writer) error {
 		cfg.Sizes = parsed
 	}
 	cfg.Jobs = *jobs
+	if *workers != "" {
+		coord := dist.New(strings.Split(*workers, ","), dist.Options{})
+		defer func() {
+			fmt.Fprint(os.Stderr, coord.Metrics())
+			coord.Close()
+		}()
+		cfg.Remote = coord
+	}
 
 	type experiment struct {
 		id  string
@@ -129,7 +148,11 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.id, err)
 		}
-		fmt.Fprintf(w, "== %s (%.1fs) ==\n", e.id, time.Since(start).Seconds())
+		if *timing {
+			fmt.Fprintf(w, "== %s (%.1fs) ==\n", e.id, time.Since(start).Seconds())
+		} else {
+			fmt.Fprintf(w, "== %s ==\n", e.id)
+		}
 		res.Print(w)
 		fmt.Fprintln(w)
 		collected[e.id] = res

@@ -2,10 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"repro/internal/service"
 )
 
 func TestParseSizes(t *testing.T) {
@@ -80,6 +87,108 @@ func TestRunBadSizes(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-sizes", "abc"}, &buf); err == nil {
 		t.Fatal("bad sizes accepted")
+	}
+}
+
+// workerProc is an in-process clrearlyd worker for the distributed golden
+// test: a real service.Server behind httptest, killable (502 + running
+// jobs aborted) and resurrectable behind the same URL.
+type workerProc struct {
+	srv *httptest.Server
+
+	mu      sync.Mutex
+	inner   *service.Server
+	submits int
+	// killAtSubmit kills the worker right after it accepts the n-th job
+	// (1-based); 0 disables.
+	killAtSubmit int
+}
+
+func newWorkerProc(t *testing.T) *workerProc {
+	t.Helper()
+	p := &workerProc{inner: service.New(service.Config{Workers: 2})}
+	p.srv = httptest.NewServer(p)
+	t.Cleanup(func() {
+		p.kill()
+		p.srv.Close()
+	})
+	return p
+}
+
+func (p *workerProc) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	inner := p.inner
+	kill := false
+	if inner != nil && r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+		p.submits++
+		kill = p.killAtSubmit > 0 && p.submits == p.killAtSubmit
+	}
+	p.mu.Unlock()
+	if inner == nil {
+		http.Error(w, "worker down", http.StatusBadGateway)
+		return
+	}
+	inner.ServeHTTP(w, r)
+	if kill {
+		p.kill()
+	}
+}
+
+func (p *workerProc) kill() {
+	p.mu.Lock()
+	inner := p.inner
+	p.inner = nil
+	p.mu.Unlock()
+	if inner != nil {
+		expired, cancel := context.WithCancel(context.Background())
+		cancel()
+		inner.Shutdown(expired)
+	}
+}
+
+func (p *workerProc) resurrect() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.inner == nil {
+		p.inner = service.New(service.Config{Workers: 2})
+	}
+}
+
+// TestDistributedRunMatchesLocalGolden pins the federation guarantee end
+// to end: the full CLI output of a distributed -quick sweep over two
+// in-process workers — one of which is killed right after accepting its
+// first job and resurrected mid-sweep — is byte-identical to the purely
+// local -jobs 4 run of the same arguments.
+func TestDistributedRunMatchesLocalGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed golden test runs the sweep twice")
+	}
+	args := []string{"-quick", "-timing=false", "-seed", "7",
+		"-run", "fig7,table5,fig8", "-sizes", "10,12", "-jobs", "4"}
+
+	var local bytes.Buffer
+	if err := run(args, &local); err != nil {
+		t.Fatal(err)
+	}
+
+	w0, w1 := newWorkerProc(t), newWorkerProc(t)
+	w1.killAtSubmit = 1
+	revive := time.AfterFunc(3*time.Second, w1.resurrect)
+	defer revive.Stop()
+
+	var dist bytes.Buffer
+	if err := run(append(args, "-workers", w0.srv.URL+","+w1.srv.URL), &dist); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local.Bytes(), dist.Bytes()) {
+		t.Fatalf("distributed output differs from local run:\n--- local ---\n%s\n--- distributed ---\n%s",
+			local.Bytes(), dist.Bytes())
+	}
+	w1.mu.Lock()
+	w1submits := w1.submits
+	w1.mu.Unlock()
+	if w1submits == 0 {
+		t.Fatal("worker kill path not exercised: w1 never accepted a job")
 	}
 }
 

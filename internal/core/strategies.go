@@ -472,11 +472,22 @@ func Agnostic(inst *Instance, cfg RunConfig) (*Front, map[Layer]*Front, error) {
 		return nil, nil, err
 	}
 	perLayer := make(map[Layer]*Front, 4)
+	for i, layer := range Layers() {
+		perLayer[layer] = fronts[i]
+	}
+	return MergeFronts(fronts...), perLayer, nil
+}
+
+// MergeFronts concatenates the points of several fronts in argument order,
+// keeps the dominant (non-dominated) ones and sums the evaluation counts —
+// the merge step that turns the four single-layer fronts into the Agnostic
+// baseline. The filter preserves concatenation order, so the merged front
+// is identical whether the inputs were computed in-process or rebuilt from
+// their wire forms by a distributed coordinator.
+func MergeFronts(fronts ...*Front) *Front {
 	var all []Point
 	evals := 0
-	for i, layer := range Layers() {
-		f := fronts[i]
-		perLayer[layer] = f
+	for _, f := range fronts {
 		all = append(all, f.Points...)
 		evals += f.Evaluations
 	}
@@ -488,7 +499,7 @@ func Agnostic(inst *Instance, cfg RunConfig) (*Front, map[Layer]*Front, error) {
 	for _, i := range pareto.Filter(objs) {
 		merged.Points = append(merged.Points, all[i])
 	}
-	return merged, perLayer, nil
+	return merged
 }
 
 // SearchSpaceLog10 returns log₁₀ of the design-space sizes of §V.B for the

@@ -1,0 +1,480 @@
+package dist
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// flakyWorker is an in-process clrearlyd worker that can be killed and
+// resurrected mid-sweep: a httptest server whose handler forwards to a
+// swappable real service.Server. While dead it answers 502 to everything
+// (including /healthz, so the coordinator's probe marks it down).
+type flakyWorker struct {
+	srv *httptest.Server
+
+	mu    sync.Mutex
+	inner *service.Server
+	delay time.Duration
+
+	submits  atomic.Int64
+	onSubmit atomic.Pointer[func()] // fired once, after the next submit
+}
+
+func newFlakyWorker(t *testing.T) *flakyWorker {
+	t.Helper()
+	f := &flakyWorker{inner: newService()}
+	f.srv = httptest.NewServer(f)
+	t.Cleanup(func() {
+		f.kill()
+		f.srv.Close()
+	})
+	return f
+}
+
+func newService() *service.Server {
+	return service.New(service.Config{Workers: 2, QueueCap: 64})
+}
+
+func (f *flakyWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	inner, delay := f.inner, f.delay
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if inner == nil {
+		http.Error(w, "worker down", http.StatusBadGateway)
+		return
+	}
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+		f.submits.Add(1)
+		if cb := f.onSubmit.Swap(nil); cb != nil {
+			(*cb)()
+		}
+	}
+	inner.ServeHTTP(w, r)
+}
+
+// kill takes the worker down hard: subsequent requests get 502 and running
+// jobs are aborted (their GAs stop within a generation), as if the process
+// died.
+func (f *flakyWorker) kill() {
+	f.mu.Lock()
+	inner := f.inner
+	f.inner = nil
+	f.mu.Unlock()
+	if inner != nil {
+		expired, cancel := context.WithCancel(context.Background())
+		cancel()
+		inner.Shutdown(expired)
+	}
+}
+
+// resurrect brings a fresh, empty worker process up behind the same URL.
+func (f *flakyWorker) resurrect() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.inner == nil {
+		f.inner = newService()
+	}
+}
+
+func (f *flakyWorker) setDelay(d time.Duration) {
+	f.mu.Lock()
+	f.delay = d
+	f.mu.Unlock()
+}
+
+// testOptions are aggressive timings so whole kill/retry/hedge cycles fit
+// in a unit test.
+func testOptions() Options {
+	return Options{
+		MaxInFlight: 4,
+		CellTimeout: 30 * time.Second,
+		MaxAttempts: 4,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+		HedgeAfter:  -1, // hedging covered by its own test
+		WaitSlice:   50 * time.Millisecond,
+		HealthEvery: 20 * time.Millisecond,
+	}
+}
+
+func newTestCoordinator(t *testing.T, opts Options, workers ...*flakyWorker) *Coordinator {
+	t.Helper()
+	urls := make([]string, len(workers))
+	for i, w := range workers {
+		urls[i] = w.srv.URL
+	}
+	c := New(urls, opts)
+	t.Cleanup(c.Close)
+	return c
+}
+
+func testSpec(t *testing.T, method string, seed int64) *service.JobSpec {
+	t.Helper()
+	s := &service.JobSpec{App: "sobel", Method: method, Pop: 10, Gens: 3, Seed: seed}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// testCells builds one cell per spec, storing fronts into out by index.
+func testCells(specs []*service.JobSpec, out []*core.Front) []Cell {
+	cells := make([]Cell, len(specs))
+	for i, s := range specs {
+		i, s := i, s
+		cells[i] = Cell{
+			Spec:  s,
+			Local: func() (*core.Front, error) { return service.Execute(context.Background(), s, nil) },
+			Store: func(f *core.Front) { out[i] = f },
+		}
+	}
+	return cells
+}
+
+// sweepSpecs is a small mixed workload: every remote-capable method family
+// appears at least once.
+func sweepSpecs(t *testing.T) []*service.JobSpec {
+	t.Helper()
+	var specs []*service.JobSpec
+	for i, method := range []string{
+		"fcclr", "pfclr", "proposed", "layer-dvfs", "layer-hwrel", "layer-sswrel",
+	} {
+		specs = append(specs, testSpec(t, method, int64(100+i)))
+	}
+	return specs
+}
+
+// assertFrontsEqual requires got to be bit-identical to want in everything
+// that travels on the wire: evaluation count, point order, objective
+// vectors and QoS metrics.
+func assertFrontsEqual(t *testing.T, label string, got, want *core.Front) {
+	t.Helper()
+	if got == nil || want == nil {
+		t.Fatalf("%s: nil front (got %v, want %v)", label, got, want)
+	}
+	if got.Evaluations != want.Evaluations {
+		t.Fatalf("%s: evaluations %d, want %d", label, got.Evaluations, want.Evaluations)
+	}
+	if len(got.Points) != len(want.Points) {
+		t.Fatalf("%s: %d points, want %d", label, len(got.Points), len(want.Points))
+	}
+	for i := range want.Points {
+		g, w := got.Points[i], want.Points[i]
+		if len(g.Objectives) != len(w.Objectives) {
+			t.Fatalf("%s: point %d has %d objectives, want %d", label, i, len(g.Objectives), len(w.Objectives))
+		}
+		for k := range w.Objectives {
+			if g.Objectives[k] != w.Objectives[k] {
+				t.Fatalf("%s: point %d objective %d = %v, want %v",
+					label, i, k, g.Objectives[k], w.Objectives[k])
+			}
+		}
+		if g.QoS.MakespanUS != w.QoS.MakespanUS || g.QoS.ErrProb != w.QoS.ErrProb ||
+			g.QoS.FunctionalRel != w.QoS.FunctionalRel || g.QoS.MTTFHours != w.QoS.MTTFHours ||
+			g.QoS.EnergyUJ != w.QoS.EnergyUJ || g.QoS.PeakPowerW != w.QoS.PeakPowerW {
+			t.Fatalf("%s: point %d QoS %+v, want %+v", label, i, g.QoS, w.QoS)
+		}
+	}
+}
+
+// localBaseline computes the ground-truth fronts of a spec list in-process.
+func localBaseline(t *testing.T, specs []*service.JobSpec) []*core.Front {
+	t.Helper()
+	fronts := make([]*core.Front, len(specs))
+	if err := RunLocal(4, testCells(specs, fronts)); err != nil {
+		t.Fatal(err)
+	}
+	return fronts
+}
+
+func TestDistributedMatchesLocal(t *testing.T) {
+	specs := sweepSpecs(t)
+	want := localBaseline(t, specs)
+
+	w0, w1 := newFlakyWorker(t), newFlakyWorker(t)
+	c := newTestCoordinator(t, testOptions(), w0, w1)
+
+	got := make([]*core.Front, len(specs))
+	if err := c.Run(context.Background(), 4, testCells(specs, got)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		assertFrontsEqual(t, specs[i].Method, got[i], want[i])
+	}
+
+	m := c.Metrics()
+	if m.RemoteCells != int64(len(specs)) {
+		t.Fatalf("remote cells = %d, want %d (fallbacks %d)", m.RemoteCells, len(specs), m.LocalFallbacks)
+	}
+	if w0.submits.Load()+w1.submits.Load() < int64(len(specs)) {
+		t.Fatalf("workers saw %d+%d submits, want ≥ %d", w0.submits.Load(), w1.submits.Load(), len(specs))
+	}
+}
+
+func TestWorkerKilledMidSweepStaysDeterministic(t *testing.T) {
+	specs := sweepSpecs(t)
+	want := localBaseline(t, specs)
+
+	w0, w1 := newFlakyWorker(t), newFlakyWorker(t)
+	// Kill w1 as soon as it has accepted its first job: cells already
+	// dispatched there die mid-run and must be retried elsewhere (or fall
+	// back to local execution) without changing any result.
+	cb := func() { go w1.kill() }
+	w1.onSubmit.Store(&cb)
+	c := newTestCoordinator(t, testOptions(), w0, w1)
+
+	got := make([]*core.Front, len(specs))
+	if err := c.Run(context.Background(), 4, testCells(specs, got)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		assertFrontsEqual(t, specs[i].Method, got[i], want[i])
+	}
+	if w1.submits.Load() == 0 {
+		t.Fatal("w1 was never dispatched to — kill path not exercised")
+	}
+}
+
+func TestWorkerResurrectionRejoinsSweep(t *testing.T) {
+	specs := sweepSpecs(t)[:3]
+	want := localBaseline(t, specs)
+
+	w0, w1 := newFlakyWorker(t), newFlakyWorker(t)
+	w1.kill()
+	c := newTestCoordinator(t, testOptions(), w0, w1)
+
+	// Sweep 1 with w1 dead: everything lands on w0 (or falls back local).
+	got := make([]*core.Front, len(specs))
+	if err := c.Run(context.Background(), 4, testCells(specs, got)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		assertFrontsEqual(t, specs[i].Method+"/dead", got[i], want[i])
+	}
+
+	// Resurrect w1 and wait for the health probe to notice.
+	w1.resurrect()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m := c.Metrics()
+		if m.Workers[1].Healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("resurrected worker never probed healthy")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Sweep 2 at different seeds: the resurrected worker takes cells again.
+	specs2 := []*service.JobSpec{
+		testSpec(t, "fcclr", 901), testSpec(t, "fcclr", 902),
+		testSpec(t, "fcclr", 903), testSpec(t, "fcclr", 904),
+	}
+	want2 := localBaseline(t, specs2)
+	before := w1.submits.Load()
+	got2 := make([]*core.Front, len(specs2))
+	if err := c.Run(context.Background(), 4, testCells(specs2, got2)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs2 {
+		assertFrontsEqual(t, "post-resurrect", got2[i], want2[i])
+	}
+	if w1.submits.Load() == before {
+		t.Fatal("resurrected worker received no work")
+	}
+}
+
+func TestAllWorkersDownFallsBackToLocal(t *testing.T) {
+	specs := sweepSpecs(t)[:2]
+	want := localBaseline(t, specs)
+
+	w0, w1 := newFlakyWorker(t), newFlakyWorker(t)
+	w0.kill()
+	w1.kill()
+	c := newTestCoordinator(t, testOptions(), w0, w1)
+
+	got := make([]*core.Front, len(specs))
+	if err := c.Run(context.Background(), 4, testCells(specs, got)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		assertFrontsEqual(t, specs[i].Method, got[i], want[i])
+	}
+	m := c.Metrics()
+	if m.LocalFallbacks != int64(len(specs)) {
+		t.Fatalf("local fallbacks = %d, want %d", m.LocalFallbacks, len(specs))
+	}
+}
+
+func TestNilSpecCellNeverLeavesTheProcess(t *testing.T) {
+	w0 := newFlakyWorker(t)
+	c := newTestCoordinator(t, testOptions(), w0)
+
+	ran := false
+	err := c.Run(context.Background(), 1, []Cell{{
+		Local: func() (*core.Front, error) { ran = true; return &core.Front{Evaluations: 7}, nil },
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("local-only cell did not run")
+	}
+	if n := w0.submits.Load(); n != 0 {
+		t.Fatalf("local-only cell reached a worker (%d submits)", n)
+	}
+	if m := c.Metrics(); m.LocalOnlyCells != 1 {
+		t.Fatalf("local-only cells = %d, want 1", m.LocalOnlyCells)
+	}
+}
+
+func TestPermanentFailureSkipsRetries(t *testing.T) {
+	w0, w1 := newFlakyWorker(t), newFlakyWorker(t)
+	c := newTestCoordinator(t, testOptions(), w0, w1)
+
+	// An un-normalized spec the server rejects with 400: deterministic, so
+	// no retry and no hedge — straight to the local path, which reproduces
+	// the canonical error.
+	bad := &service.JobSpec{Method: "bogus"}
+	_, err := c.RunOne(context.Background(), bad, func() (*core.Front, error) {
+		local := *bad
+		if err := local.Normalize(); err != nil {
+			return nil, err
+		}
+		return service.Execute(context.Background(), &local, nil)
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("err = %v, want the canonical unknown-method error", err)
+	}
+	if n := w0.submits.Load() + w1.submits.Load(); n != 1 {
+		t.Fatalf("submits = %d, want exactly 1 (no retries of a permanent failure)", n)
+	}
+	m := c.Metrics()
+	if m.Retries != 0 || m.LocalFallbacks != 1 {
+		t.Fatalf("retries = %d, fallbacks = %d; want 0 and 1", m.Retries, m.LocalFallbacks)
+	}
+}
+
+func TestTransientFailureRetriesThenSucceeds(t *testing.T) {
+	spec := testSpec(t, "fcclr", 321)
+	want := localBaseline(t, []*service.JobSpec{spec})[0]
+
+	w0 := newFlakyWorker(t)
+	// Down at first: submits bounce with 502 until the worker comes back.
+	w0.kill()
+	opts := testOptions()
+	opts.HealthEvery = -1 // keep the dead worker "healthy" so attempts hit it
+	c := newTestCoordinator(t, opts, w0)
+
+	done := make(chan struct{})
+	go func() {
+		// Let the first attempt fail, then bring the worker up; backoff
+		// retries should land on the revived instance.
+		time.Sleep(2 * time.Millisecond)
+		w0.resurrect()
+		close(done)
+	}()
+	got, err := c.RunOne(context.Background(), spec, func() (*core.Front, error) {
+		return service.Execute(context.Background(), spec, nil)
+	})
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFrontsEqual(t, "retried", got, want)
+	// Whether the win came from a retry or the local fallback depends on
+	// timing; what must hold is that at least one extra attempt happened
+	// or the fallback fired — and the result is canonical either way.
+	m := c.Metrics()
+	if m.Retries == 0 && m.LocalFallbacks == 0 {
+		t.Fatalf("expected retries or a local fallback, got %+v", m)
+	}
+}
+
+func TestHedgeWinsOverStraggler(t *testing.T) {
+	spec := testSpec(t, "fcclr", 654)
+	want := localBaseline(t, []*service.JobSpec{spec})[0]
+
+	slow, fast := newFlakyWorker(t), newFlakyWorker(t)
+	slow.setDelay(1500 * time.Millisecond) // straggler: every request crawls
+	opts := testOptions()
+	opts.HedgeAfter = 30 * time.Millisecond
+	opts.HealthEvery = -1 // slow probes must not mark the straggler down
+	c := newTestCoordinator(t, opts, slow, fast)
+
+	start := time.Now()
+	got, err := c.RunOne(context.Background(), spec, func() (*core.Front, error) {
+		return service.Execute(context.Background(), spec, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFrontsEqual(t, "hedged", got, want)
+	if elapsed := time.Since(start); elapsed >= 1500*time.Millisecond {
+		t.Fatalf("hedge did not cut the straggler short (took %v)", elapsed)
+	}
+	m := c.Metrics()
+	if m.Hedges == 0 {
+		t.Fatal("no hedge was dispatched")
+	}
+	if fast.submits.Load() == 0 {
+		t.Fatal("hedge twin never reached the fast worker")
+	}
+}
+
+func TestRunOrderIndependence(t *testing.T) {
+	// The same cells at wildly different concurrency must store identical
+	// fronts — completion order must never leak into results.
+	specs := sweepSpecs(t)[:4]
+	want := localBaseline(t, specs)
+	seq := make([]*core.Front, len(specs))
+	if err := RunLocal(1, testCells(specs, seq)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		assertFrontsEqual(t, specs[i].Method, seq[i], want[i])
+	}
+}
+
+func TestNormalizeURL(t *testing.T) {
+	cases := map[string]string{
+		"localhost:8080":          "http://localhost:8080",
+		" http://a:1/ ":           "http://a:1",
+		"https://b.example":       "https://b.example",
+		"":                        "",
+		"  ":                      "",
+		"http://c.example/base//": "http://c.example/base",
+	}
+	for in, want := range cases {
+		if got := normalizeURL(in); got != want {
+			t.Errorf("normalizeURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCoordinatorWithoutWorkersRunsLocally(t *testing.T) {
+	spec := testSpec(t, "fcclr", 11)
+	want := localBaseline(t, []*service.JobSpec{spec})[0]
+	c := New(nil, Options{})
+	defer c.Close()
+	got, err := c.RunOne(context.Background(), spec, func() (*core.Front, error) {
+		return service.Execute(context.Background(), spec, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFrontsEqual(t, "no-workers", got, want)
+}

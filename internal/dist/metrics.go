@@ -1,0 +1,85 @@
+package dist
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// coordMetrics are the coordinator's internal counters.
+type coordMetrics struct {
+	inFlight       atomic.Int64 // cells currently in the remote pipeline
+	remoteCells    atomic.Int64 // cells resolved by a worker
+	localOnly      atomic.Int64 // cells with no wire form (nil Spec)
+	localFallbacks atomic.Int64 // cells resolved locally after remote failures
+	retries        atomic.Int64 // re-dispatches after backoff
+	hedges         atomic.Int64 // speculative twin dispatches
+}
+
+// WorkerMetrics is a point-in-time view of one worker's counters.
+type WorkerMetrics struct {
+	URL       string
+	Healthy   bool
+	InFlight  int64
+	Submitted int64
+	Completed int64
+	Failed    int64
+	// AvgLatency is the mean wall-clock of completed jobs on this worker.
+	AvgLatency time.Duration
+}
+
+// Metrics is a point-in-time view of a coordinator's counters.
+type Metrics struct {
+	Workers        []WorkerMetrics
+	CellsInFlight  int64
+	RemoteCells    int64
+	LocalOnlyCells int64
+	LocalFallbacks int64
+	Retries        int64
+	Hedges         int64
+}
+
+// Metrics snapshots the coordinator's counters.
+func (c *Coordinator) Metrics() Metrics {
+	m := Metrics{
+		CellsInFlight:  c.m.inFlight.Load(),
+		RemoteCells:    c.m.remoteCells.Load(),
+		LocalOnlyCells: c.m.localOnly.Load(),
+		LocalFallbacks: c.m.localFallbacks.Load(),
+		Retries:        c.m.retries.Load(),
+		Hedges:         c.m.hedges.Load(),
+	}
+	for _, w := range c.workers {
+		wm := WorkerMetrics{
+			URL:       w.url,
+			Healthy:   w.healthy.Load(),
+			InFlight:  w.inflight.Load(),
+			Submitted: w.submitted.Load(),
+			Completed: w.completed.Load(),
+			Failed:    w.failed.Load(),
+		}
+		if wm.Completed > 0 {
+			wm.AvgLatency = time.Duration(w.latencyNS.Load() / wm.Completed).Round(time.Millisecond)
+		}
+		m.Workers = append(m.Workers, wm)
+	}
+	return m
+}
+
+// String renders the snapshot as a short human-readable block, one line
+// per worker plus a coordinator summary line.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "coordinator: %d remote, %d local-only, %d local-fallback, %d retries, %d hedges\n",
+		m.RemoteCells, m.LocalOnlyCells, m.LocalFallbacks, m.Retries, m.Hedges)
+	for _, w := range m.Workers {
+		state := "up"
+		if !w.Healthy {
+			state = "down"
+		}
+		fmt.Fprintf(&b, "  %-4s %s: %d ok / %d failed of %d submitted, avg %s\n",
+			state, w.URL, w.Completed, w.Failed, w.Submitted, w.AvgLatency)
+	}
+	return b.String()
+}

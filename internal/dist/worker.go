@@ -1,0 +1,221 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+)
+
+// errPermanent wraps a deterministic job failure reported by a worker: the
+// spec itself is bad, so retrying on another worker (or hedging) would fail
+// identically. The coordinator skips retries and falls back to the local
+// path, which reproduces the canonical error.
+var errPermanent = errors.New("dist: job failed deterministically")
+
+// worker is the coordinator's view of one remote clrearlyd instance.
+type worker struct {
+	url    string // normalized base URL without trailing slash
+	client *http.Client
+
+	healthy  atomic.Bool
+	inflight atomic.Int64 // cells currently dispatched here
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	latencyNS atomic.Int64 // total wall-clock of completed jobs
+}
+
+// normalizeURL accepts "host:port" or a full URL and returns a base URL.
+func normalizeURL(raw string) string {
+	raw = strings.TrimRight(strings.TrimSpace(raw), "/")
+	if raw == "" {
+		return ""
+	}
+	if !strings.Contains(raw, "://") {
+		raw = "http://" + raw
+	}
+	return raw
+}
+
+func newWorker(url string, client *http.Client) *worker {
+	w := &worker{url: url, client: client}
+	w.healthy.Store(true) // optimistic; the first failed call marks it down
+	return w
+}
+
+// probe refreshes the worker's health from its /healthz endpoint.
+func (w *worker) probe(timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/healthz", nil)
+	if err != nil {
+		w.healthy.Store(false)
+		return
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		w.healthy.Store(false)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	w.healthy.Store(resp.StatusCode == http.StatusOK)
+}
+
+// doJSON performs one request and decodes the JSON response into out. Any
+// transport error marks the worker unhealthy (the periodic health probe
+// resurrects it); HTTP-level errors do not, since the worker is alive.
+func (w *worker) doJSON(ctx context.Context, method, path string, body []byte, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, w.url+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			w.healthy.Store(false)
+		}
+		return 0, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if ctx.Err() == nil {
+			w.healthy.Store(false)
+		}
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode >= 500 {
+		return resp.StatusCode, fmt.Errorf("dist: %s %s: %s: %s",
+			method, path, resp.Status, strings.TrimSpace(string(blob)))
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(blob, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("dist: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// submit posts a job spec and returns the accepted job's wire status.
+func (w *worker) submit(ctx context.Context, spec *service.JobSpec) (*service.JobWire, error) {
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encoding spec: %w", err)
+	}
+	var jw service.JobWire
+	status, err := w.doJSON(ctx, http.MethodPost, "/v1/jobs", blob, &jw)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case http.StatusOK, http.StatusAccepted:
+		return &jw, nil
+	case http.StatusServiceUnavailable:
+		return nil, fmt.Errorf("dist: worker %s rejected job (queue full or draining)", w.url)
+	case http.StatusBadRequest:
+		// The server rejected the spec itself — deterministic, no retry.
+		return nil, fmt.Errorf("%w: worker %s rejected spec", errPermanent, w.url)
+	default:
+		return nil, fmt.Errorf("dist: worker %s: unexpected submit status %d", w.url, status)
+	}
+}
+
+// get fetches a job's current wire status (with front, when done).
+func (w *worker) get(ctx context.Context, id string) (*service.JobWire, error) {
+	var jw service.JobWire
+	status, err := w.doJSON(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &jw)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("dist: worker %s: job %s: status %d", w.url, id, status)
+	}
+	return &jw, nil
+}
+
+// wait long-polls a job for up to slice, returning its status afterwards.
+func (w *worker) wait(ctx context.Context, id string, slice time.Duration) (*service.JobWire, error) {
+	var jw service.JobWire
+	path := fmt.Sprintf("/v1/jobs/%s/wait?timeout=%s", id, slice)
+	status, err := w.doJSON(ctx, http.MethodGet, path, nil, &jw)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("dist: worker %s: wait %s: status %d", w.url, id, status)
+	}
+	return &jw, nil
+}
+
+// cancel best-effort cancels an abandoned job (hedge loser, timed-out
+// attempt) so the worker stops burning CPU on a result nobody will read.
+func (w *worker) cancel(id string) {
+	ctx, stop := context.WithTimeout(context.Background(), 2*time.Second)
+	defer stop()
+	w.doJSON(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// runJob drives one cell on this worker: submit, await a terminal state,
+// return the front. Failed jobs map to errPermanent; cancelled jobs (e.g.
+// the worker restarted mid-run) and transport errors are retryable.
+func (w *worker) runJob(ctx context.Context, spec *service.JobSpec, slice time.Duration) (*service.FrontWire, error) {
+	w.submitted.Add(1)
+	start := time.Now()
+	jw, err := w.submit(ctx, spec)
+	if err != nil {
+		w.failed.Add(1)
+		return nil, err
+	}
+	for {
+		switch jw.State {
+		case service.StateDone:
+			if jw.Front == nil {
+				// Terminal status observed without the attached front (e.g.
+				// a submit response); fetch the full record.
+				if jw, err = w.get(ctx, jw.ID); err != nil {
+					w.failed.Add(1)
+					return nil, err
+				}
+				if jw.Front == nil {
+					w.failed.Add(1)
+					return nil, fmt.Errorf("dist: worker %s: job %s done without front", w.url, jw.ID)
+				}
+			}
+			w.completed.Add(1)
+			w.latencyNS.Add(int64(time.Since(start)))
+			return jw.Front, nil
+		case service.StateFailed:
+			w.failed.Add(1)
+			return nil, fmt.Errorf("%w: worker %s: %s", errPermanent, w.url, jw.Error)
+		case service.StateCancelled:
+			w.failed.Add(1)
+			return nil, fmt.Errorf("dist: worker %s: job %s cancelled remotely", w.url, jw.ID)
+		default: // queued or running
+			next, err := w.wait(ctx, jw.ID, slice)
+			if err != nil {
+				w.failed.Add(1)
+				w.cancel(jw.ID)
+				return nil, err
+			}
+			jw = next
+		}
+	}
+}

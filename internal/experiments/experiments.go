@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/characterize"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/pareto"
 	"repro/internal/platform"
 	"repro/internal/relmodel"
@@ -41,6 +42,14 @@ type Config struct {
 	// All per-cell seeds derive from Seed and results are merged in a
 	// fixed order, so output is byte-identical for every Jobs value.
 	Jobs int
+	// Remote, when non-nil, shards the system-level experiment cells
+	// (Fig. 7/8, TABLEs V/VI) across its clrearlyd workers. Each remote
+	// cell is a self-contained JobSpec reproducing the local instance from
+	// seeds, results merge in cell order, and every remote failure falls
+	// back to the cell's local closure — so output stays byte-identical to
+	// a purely local run. Experiments without a wire form (Fig. 10,
+	// TABLE VII, ablations, task-level studies) always run locally.
+	Remote *dist.Coordinator
 }
 
 // Default returns the paper-scale configuration: applications of 10–100
@@ -89,17 +98,11 @@ func (c Config) sobelInstance() *core.Instance {
 }
 
 // TDSEObjectiveSets returns the three task-level objective sets of the
-// tDSE_1/tDSE_2/tDSE_3 study (Fig. 9, Fig. 10, TABLE VII). The paper grows
-// the set with "additional optimization objectives"; here:
-// tDSE_1 = {AvgExT, ErrProb}, tDSE_2 adds MTTF, tDSE_3 adds the minimum
-// execution time (a distinct TABLE II metric that is not a monotone
-// function of the others, so it genuinely enlarges the fronts).
+// tDSE_1/tDSE_2/tDSE_3 study (Fig. 9, Fig. 10, TABLE VII); see
+// tdse.StudyObjectiveSets, where the canonical list lives so the job
+// service can reference the same sets without importing this package.
 func TDSEObjectiveSets() [][]tdse.Objective {
-	return [][]tdse.Objective{
-		{tdse.AvgExT, tdse.ErrProb},
-		{tdse.AvgExT, tdse.ErrProb, tdse.MTTF},
-		{tdse.AvgExT, tdse.ErrProb, tdse.MTTF, tdse.Energy, tdse.Power, tdse.PeakTemp, tdse.MinExT},
-	}
+	return tdse.StudyObjectiveSets()
 }
 
 // FrontSeries is one labeled 2-D front (makespan µs, error probability).

@@ -1,14 +1,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/pareto"
 	"repro/internal/platform"
 	"repro/internal/relmodel"
+	"repro/internal/service"
 	"repro/internal/sweep"
 	"repro/internal/tdse"
 	"repro/internal/tgff"
@@ -33,6 +36,61 @@ func (c Config) tdseLibrary(k int) (*tdse.Library, error) {
 	p := platform.Default()
 	return tdse.Build(syntheticLibrary(c, p), p, relmodel.DefaultCatalog(),
 		tdse.DefaultOptions(), TDSEObjectiveSets()[k])
+}
+
+// systemSpec is the wire form of one system-level experiment cell: a
+// JobSpec from which a remote worker rebuilds exactly the instance of
+// systemInstance(tasks) — graph seed Seed+tasks, library seed Seed+500,
+// default platform/catalog/objectives — and runs the given method with the
+// given budget. Jobs is left zero: it never affects results, and omitting
+// it keeps worker cache keys stable across local -jobs settings.
+func (c Config) systemSpec(method string, tasks, gens int, seed int64) *service.JobSpec {
+	return &service.JobSpec{
+		App:       "synthetic",
+		Tasks:     tasks,
+		GraphSeed: c.Seed + int64(tasks),
+		LibSeed:   c.Seed + 500,
+		Method:    method,
+		Pop:       c.Pop,
+		Gens:      gens,
+		Seed:      seed,
+	}
+}
+
+// runCells executes experiment cells through the remote coordinator when
+// one is configured, and with the local sweep engine otherwise. Both paths
+// store results per cell and report the lowest-indexed cell error, so the
+// caller-visible outcome is identical.
+func (c Config) runCells(cells []dist.Cell) error {
+	if c.Remote != nil {
+		return c.Remote.Run(context.Background(), c.Jobs, cells)
+	}
+	return dist.RunLocal(c.Jobs, cells)
+}
+
+// agnosticCells builds the four single-layer cells whose merged fronts
+// form the Agnostic baseline, replicating core.Agnostic's seed derivation
+// (layer i runs at seed+i·1000) so the distributed decomposition is
+// byte-identical to the in-process call. Fronts land in out[0..3] in layer
+// order.
+func (c Config) agnosticCells(inst *core.Instance, tasks int, seed int64, out []*core.Front) []dist.Cell {
+	var cells []dist.Cell
+	for i, layer := range core.Layers() {
+		i, layer := i, layer
+		layerCfg := c.run(seed + int64(i)*1000)
+		cells = append(cells, dist.Cell{
+			Spec: c.systemSpec(service.LayerMethod(layer), tasks, c.Gens, layerCfg.Seed),
+			Local: func() (*core.Front, error) {
+				f, err := core.SingleLayer(inst, layerCfg, layer)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %v-only run: %w", layer, err)
+				}
+				return f, nil
+			},
+			Store: func(f *core.Front) { out[i] = f },
+		})
+	}
+	return cells
 }
 
 // Fig7Result holds the system-level fronts of the cross-layer vs.
@@ -63,32 +121,33 @@ func (c Config) fig7At(tasks int) (*Fig7Result, error) {
 	// Equal total evaluation budget: the agnostic side runs four GA
 	// optimizations, the proposed flow two stages — double the stage
 	// budget so both approaches spend 4× (pop·gens) evaluations.
-	// The two sides are independent sweep cells on the shared instance
-	// (and its shared metric cache); seeds are fixed per cell.
+	// The CLR run and the four single-layer runs are independent cells on
+	// the shared instance (and its shared metric cache); seeds are fixed
+	// per cell, and the agnostic side is merged from the layer fronts in
+	// layer order, exactly as core.Agnostic would.
 	clrCfg := c.run(c.Seed + 1)
 	clrCfg.Gens *= 2
-	var clr, agn *core.Front
-	var perLayer map[core.Layer]*core.Front
-	err = sweep.Run(c.Jobs, []func() error{
-		func() error {
+	var clr *core.Front
+	layerFronts := make([]*core.Front, len(core.Layers()))
+	cells := []dist.Cell{{
+		Spec: c.systemSpec("proposed", tasks, clrCfg.Gens, clrCfg.Seed),
+		Local: func() (*core.Front, error) {
 			f, err := core.Proposed(inst, clrCfg, flib)
 			if err != nil {
-				return fmt.Errorf("experiments: CLR run: %w", err)
+				return nil, fmt.Errorf("experiments: CLR run: %w", err)
 			}
-			clr = f
-			return nil
+			return f, nil
 		},
-		func() error {
-			f, pl, err := core.Agnostic(inst, c.run(c.Seed+2))
-			if err != nil {
-				return fmt.Errorf("experiments: agnostic runs: %w", err)
-			}
-			agn, perLayer = f, pl
-			return nil
-		},
-	})
-	if err != nil {
+		Store: func(f *core.Front) { clr = f },
+	}}
+	cells = append(cells, c.agnosticCells(inst, tasks, c.Seed+2, layerFronts)...)
+	if err := c.runCells(cells); err != nil {
 		return nil, err
+	}
+	agn := core.MergeFronts(layerFronts...)
+	perLayer := make(map[core.Layer]*core.Front, len(layerFronts))
+	for i, layer := range core.Layers() {
+		perLayer[layer] = layerFronts[i]
 	}
 	out := &Fig7Result{
 		Tasks:    tasks,
@@ -131,35 +190,34 @@ func (c Config) Table5() (*Table5Result, error) {
 		return nil, err
 	}
 	out := &Table5Result{Sizes: c.Sizes}
-	// One sweep cell per (size, strategy); the two cells of one size share
-	// the instance, so their Markov-metric cache is shared too.
+	// One cell per (size, strategy run): a proposed cell and four
+	// single-layer cells per size. Cells of one size share the instance,
+	// so their Markov-metric cache is shared too.
 	clrs := make([]*core.Front, len(c.Sizes))
-	agns := make([]*core.Front, len(c.Sizes))
-	var cells []func() error
+	layerFronts := make([][]*core.Front, len(c.Sizes))
+	var cells []dist.Cell
 	for i, tasks := range c.Sizes {
 		i, tasks := i, tasks
 		inst := c.systemInstance(tasks)
 		// Equal total budgets, as in fig7At.
 		clrCfg := c.run(c.Seed + int64(tasks)*7 + 1)
 		clrCfg.Gens *= 2
-		cells = append(cells,
-			func() error {
-				f, err := core.Proposed(inst, clrCfg, flib)
-				clrs[i] = f
-				return err
+		cells = append(cells, dist.Cell{
+			Spec: c.systemSpec("proposed", tasks, clrCfg.Gens, clrCfg.Seed),
+			Local: func() (*core.Front, error) {
+				return core.Proposed(inst, clrCfg, flib)
 			},
-			func() error {
-				f, _, err := core.Agnostic(inst, c.run(c.Seed+int64(tasks)*7+2))
-				agns[i] = f
-				return err
-			},
-		)
+			Store: func(f *core.Front) { clrs[i] = f },
+		})
+		layerFronts[i] = make([]*core.Front, len(core.Layers()))
+		cells = append(cells, c.agnosticCells(inst, tasks, c.Seed+int64(tasks)*7+2, layerFronts[i])...)
 	}
-	if err := sweep.Run(c.Jobs, cells); err != nil {
+	if err := c.runCells(cells); err != nil {
 		return nil, err
 	}
 	for i := range c.Sizes {
-		hv := commonHypervolumes(frontPoints(clrs[i]), frontPoints(agns[i]))
+		agn := core.MergeFronts(layerFronts[i]...)
+		hv := commonHypervolumes(frontPoints(clrs[i]), frontPoints(agn))
 		out.IncreasePct = append(out.IncreasePct, pctIncrease(hv[0], hv[1]))
 	}
 	return out, nil
@@ -197,16 +255,17 @@ func (c Config) fig8At(tasks int) (*Fig8Result, error) {
 		return nil, err
 	}
 	var fc, prop *core.Front
-	err = sweep.Run(c.Jobs, []func() error{
-		func() error {
-			f, err := core.FcCLR(inst, c.run(c.Seed+3))
-			fc = f
-			return err
+	fcCfg, propCfg := c.run(c.Seed+3), c.run(c.Seed+4)
+	err = c.runCells([]dist.Cell{
+		{
+			Spec:  c.systemSpec("fcclr", tasks, c.Gens, fcCfg.Seed),
+			Local: func() (*core.Front, error) { return core.FcCLR(inst, fcCfg) },
+			Store: func(f *core.Front) { fc = f },
 		},
-		func() error {
-			f, err := core.Proposed(inst, c.run(c.Seed+4), flib)
-			prop = f
-			return err
+		{
+			Spec:  c.systemSpec("proposed", tasks, c.Gens, propCfg.Seed),
+			Local: func() (*core.Front, error) { return core.Proposed(inst, propCfg, flib) },
+			Store: func(f *core.Front) { prop = f },
 		},
 	})
 	if err != nil {
@@ -253,24 +312,26 @@ func (c Config) Table6() (*Table6Result, error) {
 	out := &Table6Result{Sizes: c.Sizes}
 	fcs := make([]*core.Front, len(c.Sizes))
 	props := make([]*core.Front, len(c.Sizes))
-	var cells []func() error
+	var cells []dist.Cell
 	for i, tasks := range c.Sizes {
 		i, tasks := i, tasks
 		inst := c.systemInstance(tasks)
+		fcCfg := c.run(c.Seed + int64(tasks)*11 + 1)
+		propCfg := c.run(c.Seed + int64(tasks)*11 + 2)
 		cells = append(cells,
-			func() error {
-				f, err := core.FcCLR(inst, c.run(c.Seed+int64(tasks)*11+1))
-				fcs[i] = f
-				return err
+			dist.Cell{
+				Spec:  c.systemSpec("fcclr", tasks, c.Gens, fcCfg.Seed),
+				Local: func() (*core.Front, error) { return core.FcCLR(inst, fcCfg) },
+				Store: func(f *core.Front) { fcs[i] = f },
 			},
-			func() error {
-				f, err := core.Proposed(inst, c.run(c.Seed+int64(tasks)*11+2), flib)
-				props[i] = f
-				return err
+			dist.Cell{
+				Spec:  c.systemSpec("proposed", tasks, c.Gens, propCfg.Seed),
+				Local: func() (*core.Front, error) { return core.Proposed(inst, propCfg, flib) },
+				Store: func(f *core.Front) { props[i] = f },
 			},
 		)
 	}
-	if err := sweep.Run(c.Jobs, cells); err != nil {
+	if err := c.runCells(cells); err != nil {
 		return nil, err
 	}
 	for i := range c.Sizes {

@@ -2,6 +2,7 @@ package faultsim
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/platform"
@@ -57,6 +58,62 @@ func TestTaskSimMatchesAnalysis(t *testing.T) {
 				t.Fatalf("errprob: simulated %v vs analytic %v", sim.ErrProb, analytic.ErrProb)
 			}
 		})
+	}
+}
+
+// randomChainParams draws a valid ChainParams across the knob ranges the
+// DSE explores. Kept separate from the relmodel test generator on purpose:
+// this one is part of the cross-package contract check below.
+func randomChainParams(rng *rand.Rand) relmodel.ChainParams {
+	return relmodel.ChainParams{
+		ExecTimeUS:            200 + rng.Float64()*1800,
+		LambdaPerUS:           rng.Float64() * 5e-4,
+		Checkpoints:           rng.Intn(5),
+		DetTimeUS:             rng.Float64() * 30,
+		TolTimeUS:             rng.Float64() * 40,
+		ChkTimeUS:             rng.Float64() * 30,
+		MHW:                   rng.Float64(),
+		MImplSSW:              rng.Float64(),
+		CovDet:                rng.Float64(),
+		MTol:                  rng.Float64(),
+		MASW:                  rng.Float64(),
+		ModelCheckpointErrors: rng.Intn(2) == 1,
+	}
+}
+
+// TestPropertySimAgreesWithAnalysis is the randomized version of
+// TestTaskSimMatchesAnalysis: across parameter sets drawn from the whole
+// knob space, the Monte-Carlo estimates must agree with the
+// fundamental-matrix results within 3 standard errors (plus a small epsilon
+// for the cases where the empirical variance collapses to zero). The seeds
+// are fixed, so a pass here is reproducible, not probabilistic.
+func TestPropertySimAgreesWithAnalysis(t *testing.T) {
+	const trials = 25000
+	rng := rand.New(rand.NewSource(2026))
+	for i := 0; i < 10; i++ {
+		p := randomChainParams(rng)
+		analytic, err := relmodel.AnalyzeChains(p)
+		if err != nil {
+			t.Fatalf("case %d: analyze: %v", i, err)
+		}
+		sim, err := SimulateTask(p, trials, int64(1000+i))
+		if err != nil {
+			t.Fatalf("case %d: simulate: %v", i, err)
+		}
+		// The empirical stderr underestimates the true error when a
+		// recovery event with probability ~1/trials but cost ~ExecTimeUS
+		// never occurs in the sample (the variance collapses to near
+		// zero). The relative epsilon covers a few such missing events:
+		// 2e-4·ExecTime ≈ 5 events of cost ExecTime at 25000 trials.
+		timeEps := 1e-6 + 2e-4*analytic.AvgExTimeUS
+		if d := math.Abs(sim.MeanTimeUS - analytic.AvgExTimeUS); d > 3*sim.TimeStdErr+timeEps {
+			t.Errorf("case %d (%+v): time simulated %v vs analytic %v (Δ=%v, 3σ=%v)",
+				i, p, sim.MeanTimeUS, analytic.AvgExTimeUS, d, 3*sim.TimeStdErr)
+		}
+		if d := math.Abs(sim.ErrProb - analytic.ErrProb); d > 3*sim.ErrProbStdErr+1e-3 {
+			t.Errorf("case %d (%+v): errprob simulated %v vs analytic %v (Δ=%v, 3σ=%v)",
+				i, p, sim.ErrProb, analytic.ErrProb, d, 3*sim.ErrProbStdErr)
+		}
 	}
 }
 

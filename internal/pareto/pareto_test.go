@@ -247,6 +247,64 @@ func TestPropertyFilterCoverage(t *testing.T) {
 	}
 }
 
+// quantizedPts draws points on a coarse grid so that exact duplicates and
+// per-objective ties occur often — the cases where Filter's tie-breaking
+// (first duplicate survives) actually matters.
+func quantizedPts(rng *rand.Rand, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = float64(rng.Intn(4)) / 4
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestPropertyFilterMatchesBruteForce(t *testing.T) {
+	// Filter must return exactly the indices the dominance definition
+	// demands: i survives iff no point dominates pts[i] and no earlier
+	// index holds an identical point. In particular every non-dominated
+	// input is represented on the front (by its first occurrence).
+	f := func(seed int64, nRaw, dRaw uint8) bool {
+		n := int(nRaw%24) + 1
+		d := int(dRaw%3) + 2
+		rng := rand.New(rand.NewSource(seed))
+		pts := quantizedPts(rng, n, d)
+		got := Filter(pts)
+		gotSet := make(map[int]bool, len(got))
+		prev := -1
+		for _, i := range got {
+			if i <= prev { // original order must be preserved
+				return false
+			}
+			prev = i
+			gotSet[i] = true
+		}
+		for i, p := range pts {
+			want := true
+			for j, q := range pts {
+				if j != i && Dominates(q, p) {
+					want = false
+					break
+				}
+				if j < i && equalVec(q, p) {
+					want = false
+					break
+				}
+			}
+			if want != gotSet[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPropertyHypervolumeMonotone(t *testing.T) {
 	// Adding a point never decreases hypervolume.
 	f := func(seed int64, nRaw uint8) bool {

@@ -2,9 +2,51 @@ package relmodel
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/markov"
 )
+
+// randomParams draws a valid ChainParams uniformly over the knob space the
+// DSE explores, occasionally with unequal checkpoint intervals and with the
+// checkpoint-error extension toggled at random.
+func randomParams(rng *rand.Rand) ChainParams {
+	p := ChainParams{
+		ExecTimeUS:            100 + rng.Float64()*2000,
+		LambdaPerUS:           rng.Float64() * 5e-4,
+		Checkpoints:           rng.Intn(5),
+		DetTimeUS:             rng.Float64() * 30,
+		TolTimeUS:             rng.Float64() * 40,
+		ChkTimeUS:             rng.Float64() * 30,
+		MHW:                   rng.Float64(),
+		MImplSSW:              rng.Float64(),
+		CovDet:                rng.Float64(),
+		MTol:                  rng.Float64(),
+		MASW:                  rng.Float64(),
+		ModelCheckpointErrors: rng.Intn(2) == 1,
+	}
+	if rng.Intn(3) == 0 {
+		n := p.Checkpoints + 1
+		fracs := make([]float64, n)
+		sum := 0.0
+		for i := range fracs {
+			fracs[i] = 0.1 + rng.Float64()
+			sum += fracs[i]
+		}
+		// Normalize exactly: assign the residual to the last interval so
+		// the fractions sum to 1 within Validate's tolerance.
+		rest := 1.0
+		for i := 0; i < n-1; i++ {
+			fracs[i] /= sum
+			rest -= fracs[i]
+		}
+		fracs[n-1] = rest
+		p.IntervalFracs = fracs
+	}
+	return p
+}
 
 func baseParams() ChainParams {
 	return ChainParams{
@@ -282,6 +324,36 @@ func TestPropertyProbabilitiesWellFormed(t *testing.T) {
 		return !math.IsNaN(rel.AvgExTimeUS) && !math.IsInf(rel.AvgExTimeUS, 0)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyChainsRowStochastic(t *testing.T) {
+	// Both chains of Fig. 3 must be structurally sound for every valid
+	// parameter combination: each transient state's outgoing probabilities
+	// sum to 1 and an absorbing state is reachable from the start —
+	// markov.Chain.Validate checks exactly that.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomParams(rng)
+		if err := p.Validate(); err != nil {
+			return false // generator must only emit valid params
+		}
+		for _, build := range []func(ChainParams) (*markov.Chain, error){
+			BuildTimingChain, BuildFunctionalChain,
+		} {
+			c, err := build(p)
+			if err != nil {
+				return false
+			}
+			if err := c.Validate(); err != nil {
+				t.Logf("seed %d: %+v: %v", seed, p, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
 		t.Fatal(err)
 	}
 }

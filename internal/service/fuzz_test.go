@@ -1,0 +1,52 @@
+package service
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// FuzzNormalize exercises the JobSpec normalizer with arbitrary JSON blobs
+// and float knobs. The contract under fuzzing:
+//
+//   - Normalize never panics, whatever the input;
+//   - a spec Normalize accepts can always be hashed (Hash panics on
+//     unmarshalable values, so NaN/Inf knobs must be rejected up front);
+//   - Normalize is idempotent: normalizing an already-normalized spec
+//     changes nothing, so the cache key is stable however often a spec
+//     crosses a process boundary.
+func FuzzNormalize(f *testing.F) {
+	f.Add(`{}`, 0.0, 0.0, 0.0, int64(1), 0)
+	f.Add(`{"app":"synthetic","tasks":12,"method":"fcclr","graph_seed":77,"lib_seed":88}`, 1.5, 0.25, 0.9, int64(7), 30)
+	f.Add(`{"method":"layer-dvfs","engine":"moead","catalog":"extended"}`, 0.0, 0.0, 0.0, int64(3), 0)
+	f.Add(`{"method":"pfclr","tdse_set":2,"objectives":["makespan","energy","power"]}`, 0.0, 0.0, 0.0, int64(5), 0)
+	f.Add(`{"graph_text":"@TASK_GRAPH g {\nPERIOD 10\nTASK a TYPE 0 CRITICALITY 1\n}"}`, 0.0, 0.0, 0.0, int64(2), 4)
+	f.Add(`{"jobs":-3,"pop":2,"gens":1}`, 0.0, 0.0, 0.0, int64(-9), -5)
+	f.Add(`not json at all`, math.NaN(), math.Inf(1), math.Inf(-1), int64(0), 0)
+	f.Fuzz(func(t *testing.T, blob string, commStartup, commPerKB, minFRel float64, seed int64, tasks int) {
+		var s JobSpec
+		// Malformed JSON just leaves a partially-filled spec — Normalize
+		// must cope with whatever state results.
+		_ = json.Unmarshal([]byte(blob), &s)
+		s.CommStartupUS = commStartup
+		s.CommPerKBUS = commPerKB
+		s.Constraints.MinFunctionalRel = minFRel
+		s.Seed = seed
+		s.Tasks = tasks
+		if err := s.Normalize(); err != nil {
+			return
+		}
+		h := s.Hash() // must not panic on any accepted spec
+		again := s
+		if err := again.Normalize(); err != nil {
+			t.Fatalf("re-normalizing an accepted spec failed: %v", err)
+		}
+		if !reflect.DeepEqual(again, s) {
+			t.Fatalf("Normalize not idempotent:\nfirst  %+v\nsecond %+v", s, again)
+		}
+		if again.Hash() != h {
+			t.Fatalf("hash changed across re-normalization: %s vs %s", h, again.Hash())
+		}
+	})
+}

@@ -130,6 +130,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/wait", s.handleWait)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -341,6 +342,36 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r)
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.wire(true))
+}
+
+// handleWait is the long-poll companion of handleGet: it blocks until the
+// job reaches a terminal state or the "timeout" query parameter (default
+// 30s, capped at 5m) elapses, then responds with the job's wire status.
+// Remote sweep coordinators use it to await cells without busy polling.
+func (s *Server) handleWait(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	d := 30 * time.Second
+	if raw := r.URL.Query().Get("timeout"); raw != "" {
+		parsed, err := time.ParseDuration(raw)
+		if err != nil || parsed <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad timeout %q", raw))
+			return
+		}
+		d = min(parsed, 5*time.Minute)
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-j.done:
+	case <-timer.C:
+	case <-r.Context().Done():
 		return
 	}
 	writeJSON(w, http.StatusOK, j.wire(true))

@@ -92,10 +92,32 @@ func TestExecuteMatchesCoreAcrossMethods(t *testing.T) {
 		if len(front.Points) == 0 {
 			t.Fatalf("%s: empty front", method)
 		}
+		// The wire form preserves archive order (it is canonical per spec),
+		// and a wire round trip must reconstruct the exact front: same
+		// order, bit-identical objectives and QoS metrics.
 		wire := FrontToWire(front)
-		for i := 1; i < len(wire.Points); i++ {
-			if wire.Points[i].MakespanUS < wire.Points[i-1].MakespanUS {
-				t.Fatalf("%s: wire points not sorted by makespan", method)
+		if len(wire.Points) != len(front.Points) {
+			t.Fatalf("%s: wire has %d points, front %d", method, len(wire.Points), len(front.Points))
+		}
+		back := FrontFromWire(wire)
+		if back.Evaluations != front.Evaluations {
+			t.Fatalf("%s: evaluations %d after round trip, want %d",
+				method, back.Evaluations, front.Evaluations)
+		}
+		for i, p := range front.Points {
+			got := back.Points[i]
+			for k, v := range p.Objectives {
+				if got.Objectives[k] != v {
+					t.Fatalf("%s: point %d objective %d = %v after round trip, want %v",
+						method, i, k, got.Objectives[k], v)
+				}
+			}
+			gq, wq := got.QoS, p.QoS
+			if gq.MakespanUS != wq.MakespanUS || gq.FunctionalRel != wq.FunctionalRel ||
+				gq.ErrProb != wq.ErrProb || gq.MTTFHours != wq.MTTFHours ||
+				gq.EnergyUJ != wq.EnergyUJ || gq.PeakPowerW != wq.PeakPowerW {
+				t.Fatalf("%s: point %d QoS %+v after round trip, want %+v",
+					method, i, gq, wq)
 			}
 		}
 	}

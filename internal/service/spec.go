@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/characterize"
@@ -39,9 +40,23 @@ type JobSpec struct {
 	GraphText string `json:"graph_text,omitempty"`
 	// Tasks is the synthetic application's task count (default 20).
 	Tasks int `json:"tasks,omitempty"`
-	// Method is the DSE method: proposed (default), fcclr, pfclr or
-	// agnostic.
+	// GraphSeed overrides the seed of the synthetic task-graph generator
+	// (0: derive from Seed, as before). LibSeed likewise overrides the seed
+	// of the synthetic characterization library (0: Seed+500). They let a
+	// distributed sweep coordinator reproduce the exact experiment-harness
+	// instances, whose graph and library seeds differ from the GA seed.
+	GraphSeed int64 `json:"graph_seed,omitempty"`
+	LibSeed   int64 `json:"lib_seed,omitempty"`
+	// Method is the DSE method: proposed (default), fcclr, pfclr,
+	// agnostic, or one of the single-layer baselines layer-dvfs,
+	// layer-hwrel, layer-sswrel, layer-aswrel (the per-layer runs whose
+	// merged fronts form the Agnostic comparison).
 	Method string `json:"method,omitempty"`
+	// TDSESet selects the task-level objective set used to build the
+	// Pareto-filtered library for proposed/pfclr runs: 0 (default) is
+	// tDSE_1 = {AvgExT, ErrProb}; 1 and 2 are the richer tDSE_2/tDSE_3
+	// sets of the paper's Fig. 9/10 study.
+	TDSESet int `json:"tdse_set,omitempty"`
 	// Pop, Gens and Seed configure the GA (defaults 60, 40, 1).
 	Pop  int   `json:"pop,omitempty"`
 	Gens int   `json:"gens,omitempty"`
@@ -73,6 +88,24 @@ var systemObjectiveNames = map[string]core.SystemObjective{
 	"power":    core.PeakPower,
 }
 
+// layerMethods maps the single-layer method names to their layers.
+var layerMethods = map[string]core.Layer{
+	"layer-dvfs":   core.LayerDVFS,
+	"layer-hwrel":  core.LayerHW,
+	"layer-sswrel": core.LayerSSW,
+	"layer-aswrel": core.LayerASW,
+}
+
+// LayerMethod returns the canonical method name of a single-layer run.
+func LayerMethod(l core.Layer) string {
+	for name, layer := range layerMethods {
+		if layer == l {
+			return name
+		}
+	}
+	panic(fmt.Sprintf("service: unknown layer %d", int(l)))
+}
+
 // Normalize fills defaults, lower-cases the enum fields and validates the
 // spec. It must be called before Hash, Build or Execute.
 func (s *JobSpec) Normalize() error {
@@ -99,13 +132,30 @@ func (s *JobSpec) Normalize() error {
 	} else if s.Tasks < 1 {
 		return fmt.Errorf("service: task count %d must be ≥ 1", s.Tasks)
 	}
+	if s.App != "synthetic" {
+		// Only the synthetic generator consumes GraphSeed; the inline and
+		// built-in graphs ignore it (LibSeed still applies to graph-text
+		// specs, whose library is synthesized).
+		s.GraphSeed = 0
+		if s.GraphText == "" {
+			s.LibSeed = 0
+		}
+	}
 	if s.Method == "" {
 		s.Method = "proposed"
 	}
-	switch s.Method {
-	case "proposed", "fcclr", "pfclr", "agnostic":
-	default:
-		return fmt.Errorf("service: unknown method %q", s.Method)
+	if _, ok := layerMethods[s.Method]; !ok {
+		switch s.Method {
+		case "proposed", "fcclr", "pfclr", "agnostic":
+		default:
+			return fmt.Errorf("service: unknown method %q", s.Method)
+		}
+	}
+	if !s.needsLibrary() {
+		s.TDSESet = 0
+	} else if s.TDSESet < 0 || s.TDSESet >= len(tdse.StudyObjectiveSets()) {
+		return fmt.Errorf("service: tdse_set %d out of range [0,%d]",
+			s.TDSESet, len(tdse.StudyObjectiveSets())-1)
 	}
 	if s.Engine == "" {
 		s.Engine = "nsga2"
@@ -148,6 +198,32 @@ func (s *JobSpec) Normalize() error {
 	if len(s.Objectives) < 2 {
 		return fmt.Errorf("service: need at least two objectives, got %d", len(s.Objectives))
 	}
+	if s.Jobs < 0 {
+		s.Jobs = 0
+	}
+	// The float knobs must be finite and non-negative: NaN/Inf would make
+	// the canonical spec unhashable (encoding/json rejects them), and
+	// negative bounds or costs are meaningless (0 means "unconstrained" /
+	// "communication-free").
+	for _, k := range []struct {
+		name string
+		v    float64
+	}{
+		{"comm_startup_us", s.CommStartupUS},
+		{"comm_per_kb_us", s.CommPerKBUS},
+		{"max_makespan_us", s.Constraints.MaxMakespanUS},
+		{"min_functional_rel", s.Constraints.MinFunctionalRel},
+		{"min_mttf_hours", s.Constraints.MinMTTFHours},
+		{"max_energy_uj", s.Constraints.MaxEnergyUJ},
+		{"max_peak_power_w", s.Constraints.MaxPeakPowerW},
+	} {
+		if math.IsNaN(k.v) || math.IsInf(k.v, 0) || k.v < 0 {
+			return fmt.Errorf("service: %s = %v must be finite and non-negative", k.name, k.v)
+		}
+	}
+	if s.Constraints.MinFunctionalRel > 1 {
+		return fmt.Errorf("service: min_functional_rel = %v outside [0,1]", s.Constraints.MinFunctionalRel)
+	}
 	return nil
 }
 
@@ -178,7 +254,7 @@ func (s *JobSpec) TotalGenerations() int {
 		return 2 * s.Gens
 	case "agnostic":
 		return 4 * s.Gens
-	default:
+	default: // fcclr, pfclr and the single-layer methods are one stage
 		return s.Gens
 	}
 }
@@ -209,6 +285,10 @@ func Build(s *JobSpec) (*core.Instance, *tdse.Library, error) {
 			MaxPeakPowerW:    s.Constraints.MaxPeakPowerW,
 		},
 	}
+	libSeed := s.LibSeed
+	if libSeed == 0 {
+		libSeed = s.Seed + 500
+	}
 	switch {
 	case s.GraphText != "":
 		g, err := tgff.ParseText(strings.NewReader(s.GraphText))
@@ -216,7 +296,7 @@ func Build(s *JobSpec) (*core.Instance, *tdse.Library, error) {
 			return nil, nil, fmt.Errorf("service: parsing graph text: %w", err)
 		}
 		inst.Graph = g
-		inst.Lib = characterize.Synthetic(p, characterize.DefaultSyntheticConfig(g.NumTypes()), s.Seed+500)
+		inst.Lib = characterize.Synthetic(p, characterize.DefaultSyntheticConfig(g.NumTypes()), libSeed)
 	case s.App == "sobel":
 		inst.Graph = taskgraph.Sobel()
 		inst.Lib = characterize.Sobel(p)
@@ -224,8 +304,12 @@ func Build(s *JobSpec) (*core.Instance, *tdse.Library, error) {
 		inst.Graph = taskgraph.JPEG()
 		inst.Lib = characterize.JPEG(p)
 	default: // synthetic; Normalize rejected everything else
-		inst.Graph = tgff.MustGenerate(tgff.DefaultConfig(s.Tasks), s.Seed)
-		inst.Lib = characterize.Synthetic(p, characterize.DefaultSyntheticConfig(10), s.Seed+500)
+		graphSeed := s.GraphSeed
+		if graphSeed == 0 {
+			graphSeed = s.Seed
+		}
+		inst.Graph = tgff.MustGenerate(tgff.DefaultConfig(s.Tasks), graphSeed)
+		inst.Lib = characterize.Synthetic(p, characterize.DefaultSyntheticConfig(10), libSeed)
 	}
 	if err := inst.Validate(); err != nil {
 		return nil, nil, err
@@ -234,7 +318,7 @@ func Build(s *JobSpec) (*core.Instance, *tdse.Library, error) {
 	if s.needsLibrary() {
 		var err error
 		flib, err = tdse.Build(inst.Lib, p, inst.Catalog, tdse.DefaultOptions(),
-			[]tdse.Objective{tdse.AvgExT, tdse.ErrProb})
+			tdse.StudyObjectiveSets()[s.TDSESet])
 		if err != nil {
 			return nil, nil, err
 		}
@@ -257,6 +341,9 @@ func ExecuteOn(ctx context.Context, inst *core.Instance, flib *tdse.Library, s *
 	}
 	if s.Engine == "moead" {
 		cfg.Engine = core.MOEAD
+	}
+	if layer, ok := layerMethods[s.Method]; ok {
+		return core.SingleLayer(inst, cfg, layer)
 	}
 	switch s.Method {
 	case "proposed":

@@ -77,6 +77,21 @@ func ObjectiveSets() [][]Objective {
 	return out
 }
 
+// StudyObjectiveSets returns the three task-level objective sets of the
+// tDSE_1/tDSE_2/tDSE_3 study (Fig. 9, Fig. 10, TABLE VII). The paper grows
+// the set with "additional optimization objectives"; here:
+// tDSE_1 = {AvgExT, ErrProb}, tDSE_2 adds MTTF, tDSE_3 adds the minimum
+// execution time (a distinct TABLE II metric that is not a monotone
+// function of the others, so it genuinely enlarges the fronts). The list
+// is shared by the experiment harness and the job service's tdse_set knob.
+func StudyObjectiveSets() [][]Objective {
+	return [][]Objective{
+		{AvgExT, ErrProb},
+		{AvgExT, ErrProb, MTTF},
+		{AvgExT, ErrProb, MTTF, Energy, Power, PeakTemp, MinExT},
+	}
+}
+
 // Value extracts the minimization value of objective o from task metrics.
 func Value(m relmodel.Metrics, o Objective) float64 {
 	switch o {

@@ -18,6 +18,14 @@ func FuzzParseText(f *testing.F) {
 	f.Add("@TASK_GRAPH x {\nPERIOD 100\nTASK a\tTYPE 0\tCRITICALITY 1\n}\n")
 	f.Add("garbage")
 	f.Add("@TASK_GRAPH x {\nPERIOD -1\n}\n")
+	// Non-finite knobs must be rejected, not silently accepted: NaN slips
+	// through every "> 0" validation downstream.
+	f.Add("@TASK_GRAPH x {\nPERIOD NaN\nTASK a\tTYPE 0\tCRITICALITY 1\n}\n")
+	f.Add("@TASK_GRAPH x {\nPERIOD 10\nTASK a\tTYPE 0\tCRITICALITY +Inf\n}\n")
+	f.Add("@TASK_GRAPH x {\nPERIOD 10\nTASK a\tTYPE 0\tCRITICALITY 1\nTASK b\tTYPE 0\tCRITICALITY 1\nARC a0\tFROM t0 TO t1\tDATA nan\n}\n")
+	// Malformed structure: arcs to missing tasks, cycles, duplicate edges.
+	f.Add("@TASK_GRAPH x {\nPERIOD 10\nTASK a\tTYPE 0\tCRITICALITY 1\nARC a0\tFROM t0 TO t9\tDATA 1\n}\n")
+	f.Add("@TASK_GRAPH x {\nPERIOD 10\nTASK a\tTYPE 0\tCRITICALITY 1\nTASK b\tTYPE 0\tCRITICALITY 1\nARC a0\tFROM t0 TO t1\tDATA 1\nARC a1\tFROM t1 TO t0\tDATA 1\n}\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		g, err := ParseText(strings.NewReader(src))
 		if err != nil {

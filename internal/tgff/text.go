@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -77,7 +78,7 @@ func ParseText(r io.Reader) (*taskgraph.Graph, error) {
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("tgff: line %d: malformed PERIOD", line)
 			}
-			v, err := strconv.ParseFloat(fields[1], 64)
+			v, err := parseFinite(fields[1])
 			if err != nil {
 				return nil, fmt.Errorf("tgff: line %d: bad period: %w", line, err)
 			}
@@ -91,7 +92,7 @@ func ParseText(r io.Reader) (*taskgraph.Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("tgff: line %d: bad type: %w", line, err)
 			}
-			crit, err := strconv.ParseFloat(fields[5], 64)
+			crit, err := parseFinite(fields[5])
 			if err != nil {
 				return nil, fmt.Errorf("tgff: line %d: bad criticality: %w", line, err)
 			}
@@ -109,7 +110,7 @@ func ParseText(r io.Reader) (*taskgraph.Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("tgff: line %d: %w", line, err)
 			}
-			kb, err := strconv.ParseFloat(fields[7], 64)
+			kb, err := parseFinite(fields[7])
 			if err != nil {
 				return nil, fmt.Errorf("tgff: line %d: bad data volume: %w", line, err)
 			}
@@ -134,6 +135,21 @@ func ParseText(r io.Reader) (*taskgraph.Graph, error) {
 		b.AddEdgeData(a.from, a.to, a.dataKB)
 	}
 	return b.Build()
+}
+
+// parseFinite parses a float and rejects NaN and ±Inf: the builder's range
+// checks (period > 0, criticality > 0, data ≥ 0) all pass for NaN, and a
+// non-finite value would silently poison every downstream QoS metric —
+// including ones later serialized to JSON, which rejects non-finite floats.
+func parseFinite(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v, nil
 }
 
 func parseTaskRef(s string) (int, error) {
