@@ -1,7 +1,7 @@
 GO ?= go
 PORT ?= 8080
 
-.PHONY: build test vet race fuzz-smoke validate-quick bench bench-sweep quick full serve
+.PHONY: build test vet race fuzz-smoke validate-quick bench bench-sweep bench-snapshot quick full serve
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,16 @@ bench:
 # recorded in CHANGES.md).
 bench-sweep:
 	$(GO) test -bench 'Sweep|Fig|Table' -benchtime 1x .
+
+# Machine-readable perf snapshot: one pass over the sweep/figure/table
+# benchmarks with -benchmem, converted to JSON by cmd/benchsnap. Set
+# BENCH_BASELINE to a prior snapshot (JSON or raw bench text) to embed
+# percent deltas per benchmark.
+BENCH_SNAPSHOT ?= BENCH_PR4.json
+BENCH_BASELINE ?=
+bench-snapshot:
+	$(GO) test -run '^$$' -bench 'Sweep|Fig|Table' -benchmem -benchtime 1x . | \
+		$(GO) run ./cmd/benchsnap -o $(BENCH_SNAPSHOT) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))
 
 # Build and launch the DSE job service on $(PORT).
 serve:

@@ -179,6 +179,87 @@ func BenchmarkMetricsCacheSharing(b *testing.B) {
 	}
 }
 
+// ---- genome-evaluation benchmarks ----
+
+// benchSobelInstance builds a fresh sobel DSE instance (empty caches).
+func benchSobelInstance() *core.Instance {
+	p := platform.Default()
+	return &core.Instance{
+		Graph:      taskgraph.Sobel(),
+		Platform:   p,
+		Lib:        characterize.Sobel(p),
+		Catalog:    relmodel.DefaultCatalog(),
+		Objectives: core.DefaultObjectives(),
+	}
+}
+
+// benchSyntheticInstance builds a fresh synthetic-graph instance.
+func benchSyntheticInstance(tasks int) *core.Instance {
+	p := platform.Default()
+	return &core.Instance{
+		Graph:      tgff.MustGenerate(tgff.DefaultConfig(tasks), 7),
+		Platform:   p,
+		Lib:        characterize.Synthetic(p, characterize.DefaultSyntheticConfig(10), 8),
+		Catalog:    relmodel.DefaultCatalog(),
+		Objectives: core.DefaultObjectives(),
+	}
+}
+
+// benchmarkEvaluateMapping measures one full genome decode + schedule
+// evaluation — the per-chromosome inner loop of every GA generation — on an
+// optimized genome taken from a short FcCLR run.
+func benchmarkEvaluateMapping(b *testing.B, inst *core.Instance) {
+	front, err := core.FcCLR(inst, core.RunConfig{Pop: 16, Gens: 5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := front.Points[0].Genome
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EvaluateMapping(inst, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateMappingSobel(b *testing.B) { benchmarkEvaluateMapping(b, benchSobelInstance()) }
+func BenchmarkEvaluateMappingSynthetic(b *testing.B) {
+	benchmarkEvaluateMapping(b, benchSyntheticInstance(20))
+}
+
+// BenchmarkFitnessCacheCold runs fcCLR on a fresh instance every iteration,
+// so every fitness evaluation misses the genome-level cache.
+func BenchmarkFitnessCacheCold(b *testing.B) {
+	cfg := core.RunConfig{Pop: 24, Gens: 10, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FcCLR(benchSobelInstance(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitnessCacheWarm repeats the identical run on one instance: after
+// the first (untimed) pass, every evaluation is served from the fitness
+// cache, bounding the memoization upside.
+func BenchmarkFitnessCacheWarm(b *testing.B) {
+	inst := benchSobelInstance()
+	cfg := core.RunConfig{Pop: 24, Gens: 10, Seed: 1}
+	if _, err := core.FcCLR(inst, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FcCLR(inst, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(inst.FitnessCacheStats().HitRate()*100, "fitness-hit-%")
+}
+
 // ---- substrate micro-benchmarks ----
 
 func BenchmarkMarkovAnalyze(b *testing.B) {
@@ -220,9 +301,8 @@ func BenchmarkTaskEvaluate(b *testing.B) {
 	}
 }
 
-func BenchmarkScheduleRun50(b *testing.B) {
-	g := tgff.MustGenerate(tgff.DefaultConfig(50), 1)
-	p := platform.Default()
+// benchScheduleInputs builds a deterministic decision vector for g.
+func benchScheduleInputs(g *taskgraph.Graph, p *platform.Platform) []schedule.TaskDecision {
 	decisions := make([]schedule.TaskDecision, g.NumTasks())
 	for t := range decisions {
 		decisions[t] = schedule.TaskDecision{
@@ -233,14 +313,40 @@ func BenchmarkScheduleRun50(b *testing.B) {
 			},
 		}
 	}
+	return decisions
+}
+
+// benchmarkScheduleRun times list scheduling + the Eq.1–4 QoS reduction,
+// either allocating fresh per call (ev == nil, the schedule.Run path) or
+// reusing one Evaluator's scratch across iterations.
+func benchmarkScheduleRun(b *testing.B, g *taskgraph.Graph, ev *schedule.Evaluator) {
+	p := platform.Default()
+	decisions := benchScheduleInputs(g, p)
 	prio := g.TopoOrder()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := schedule.Run(g, p, prio, decisions); err != nil {
+		var err error
+		if ev == nil {
+			_, err = schedule.Run(g, p, prio, decisions)
+		} else {
+			_, err = ev.Run(g, p, prio, decisions)
+		}
+		if err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+func BenchmarkScheduleRunSobel(b *testing.B) { benchmarkScheduleRun(b, taskgraph.Sobel(), nil) }
+func BenchmarkScheduleRun50(b *testing.B) {
+	benchmarkScheduleRun(b, tgff.MustGenerate(tgff.DefaultConfig(50), 1), nil)
+}
+func BenchmarkScheduleEvaluatorSobel(b *testing.B) {
+	benchmarkScheduleRun(b, taskgraph.Sobel(), schedule.NewEvaluator())
+}
+func BenchmarkScheduleEvaluator50(b *testing.B) {
+	benchmarkScheduleRun(b, tgff.MustGenerate(tgff.DefaultConfig(50), 1), schedule.NewEvaluator())
 }
 
 func BenchmarkHypervolume2D(b *testing.B) {

@@ -1,0 +1,217 @@
+// Command benchsnap converts `go test -bench` output on stdin into a
+// machine-readable JSON snapshot: ns/op, B/op, allocs/op, and any custom
+// b.ReportMetric units, per benchmark. With -baseline it also embeds a prior
+// run (bench text or a previous snapshot JSON) and the percent change per
+// measure, so the perf trajectory across PRs is diffable by tooling instead
+// of eyeballed from log files.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Sweep|Fig|Table' -benchmem -benchtime 1x . |
+//	    benchsnap -o BENCH_PR4.json [-baseline old.txt|old.json]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Measure holds the three standard -benchmem measures.
+type Measure struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Benchmark is one benchmark's snapshot entry.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Measure
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Baseline   *Measure           `json:"baseline,omitempty"`
+	VsBaseline map[string]float64 `json:"vs_baseline_pct,omitempty"`
+}
+
+// Snapshot is the full JSON document.
+type Snapshot struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "prior run to compare against (bench text or snapshot JSON)")
+	flag.Parse()
+	if err := run(os.Stdin, *out, *baseline); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, outPath, baselinePath string) error {
+	snap, err := parseBenchText(in)
+	if err != nil {
+		return err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin (expected `go test -bench` output)")
+	}
+	if baselinePath != "" {
+		base, err := loadBaseline(baselinePath)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		annotate(snap, base)
+	}
+	blob, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	return os.WriteFile(outPath, blob, 0o644)
+}
+
+// parseBenchText reads standard testing-package benchmark output.
+func parseBenchText(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			snap.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			snap.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(snap.Benchmarks, func(i, j int) bool {
+		return snap.Benchmarks[i].Name < snap.Benchmarks[j].Name
+	})
+	return snap, nil
+}
+
+// parseBenchLine decodes one "BenchmarkName N value unit value unit ..." row.
+func parseBenchLine(line string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	// Strip the -GOMAXPROCS suffix so names are stable across machines.
+	name := f[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iterations in %q: %w", line, err)
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("value %q in %q: %w", f[i], line, err)
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, nil
+}
+
+// loadBaseline reads a prior run: a snapshot JSON (first byte '{') or raw
+// `go test -bench` text.
+func loadBaseline(path string) (map[string]Measure, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap *Snapshot
+	if trimmed := bytes.TrimSpace(blob); len(trimmed) > 0 && trimmed[0] == '{' {
+		snap = &Snapshot{}
+		if err := json.Unmarshal(trimmed, snap); err != nil {
+			return nil, err
+		}
+	} else if snap, err = parseBenchText(bytes.NewReader(blob)); err != nil {
+		return nil, err
+	}
+	out := make(map[string]Measure, len(snap.Benchmarks))
+	for _, b := range snap.Benchmarks {
+		out[b.Name] = b.Measure
+	}
+	return out, nil
+}
+
+// annotate attaches baseline measures and percent deltas to every benchmark
+// the baseline also ran (negative = improvement).
+func annotate(snap *Snapshot, base map[string]Measure) {
+	for i := range snap.Benchmarks {
+		b := &snap.Benchmarks[i]
+		m, ok := base[b.Name]
+		if !ok {
+			continue
+		}
+		b.Baseline = &m
+		b.VsBaseline = map[string]float64{}
+		for _, d := range []struct {
+			key      string
+			cur, old float64
+		}{
+			{"ns_per_op", b.NsPerOp, m.NsPerOp},
+			{"bytes_per_op", b.BytesPerOp, m.BytesPerOp},
+			{"allocs_per_op", b.AllocsPerOp, m.AllocsPerOp},
+		} {
+			if d.old > 0 {
+				b.VsBaseline[d.key] = round1(100 * (d.cur - d.old) / d.old)
+			}
+		}
+	}
+}
+
+func round1(v float64) float64 {
+	if v < 0 {
+		return float64(int64(v*10-0.5)) / 10
+	}
+	return float64(int64(v*10+0.5)) / 10
+}

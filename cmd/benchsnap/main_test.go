@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable5-8         	       1	 354450557 ns/op	        26.82 pct-improvement-10tasks	294583472 B/op	 1923686 allocs/op
+BenchmarkFig9             	       1	 862140826 ns/op	691441536 B/op	 4531873 allocs/op
+PASS
+ok  	repro	5.489s
+`
+
+func TestParseBenchText(t *testing.T) {
+	snap, err := parseBenchText(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Goos != "linux" || snap.Pkg != "repro" {
+		t.Fatalf("header: %+v", snap)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks", len(snap.Benchmarks))
+	}
+	// Sorted by name; the -8 GOMAXPROCS suffix must be stripped.
+	if snap.Benchmarks[1].Name != "BenchmarkTable5" {
+		t.Fatalf("name %q", snap.Benchmarks[1].Name)
+	}
+	b := snap.Benchmarks[1]
+	if b.NsPerOp != 354450557 || b.BytesPerOp != 294583472 || b.AllocsPerOp != 1923686 {
+		t.Fatalf("measures: %+v", b)
+	}
+	if b.Metrics["pct-improvement-10tasks"] != 26.82 {
+		t.Fatalf("custom metric: %+v", b.Metrics)
+	}
+}
+
+func TestAnnotateAgainstTextBaseline(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.txt")
+	if err := os.WriteFile(basePath, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	current := `BenchmarkTable5 	       1	 177225278 ns/op	147291736 B/op	  961843 allocs/op
+`
+	snap, err := parseBenchText(strings.NewReader(current))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaseline(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annotate(snap, base)
+	b := snap.Benchmarks[0]
+	if b.Baseline == nil || b.Baseline.AllocsPerOp != 1923686 {
+		t.Fatalf("baseline not attached: %+v", b)
+	}
+	if got := b.VsBaseline["allocs_per_op"]; got != -50.0 {
+		t.Fatalf("allocs delta %v, want -50.0", got)
+	}
+}
+
+func TestLoadBaselineJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "snap.json")
+	if err := run(strings.NewReader(sample), out, ""); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaseline(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := base["BenchmarkFig9"]; !ok || m.AllocsPerOp != 4531873 {
+		t.Fatalf("round trip: %+v", base)
+	}
+}

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	clrearlyd [-addr :8080] [-workers N] [-queue N] [-cache N] [-drain 30s]
+//	          [-pprof addr]
 //
 // API:
 //
@@ -18,8 +19,13 @@
 //	GET    /v1/jobs/{id}/events SSE stream of per-generation progress
 //	DELETE /v1/jobs/{id}        cancel (queued or running)
 //	GET    /healthz             liveness probe
-//	GET    /metrics             jobs by state, queue depth, cache hit
-//	                            rate, per-method latency histograms
+//	GET    /metrics             jobs by state, queue depth, result- and
+//	                            fitness-cache hit rates, per-method
+//	                            latency histograms
+//
+// -pprof serves net/http/pprof (goroutine, heap, CPU profiles) on a
+// separate address, e.g. -pprof localhost:6060; off by default so
+// profiling endpoints are never exposed unintentionally.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,8 +58,20 @@ func run(args []string) error {
 	queueCap := fs.Int("queue", 64, "queued-job capacity; beyond it submissions get 503")
 	cacheCap := fs.Int("cache", 128, "LRU result-cache capacity (fronts)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline for running jobs")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *pprofAddr != "" {
+		// The pprof mux is the package's DefaultServeMux registration;
+		// serving it on its own listener keeps the job API surface clean.
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
 	}
 
 	svc := service.New(service.Config{

@@ -8,6 +8,7 @@
 //	             ablation-seeding,ablation-operators,ablation-comm,ablation-engine,
 //	             ablation-heft,ext-scenario,ext-memory]
 //	            [-pop N] [-gens N] [-seed N] [-sizes 10,20,...] [-quick] [-jobs N]
+//	            [-cpuprofile file] [-memprofile file]
 //
 // -quick switches to a reduced GA budget and a short size sweep, useful for
 // smoke-testing the full pipeline in under a minute.
@@ -32,10 +33,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/experiments"
 )
@@ -61,9 +65,46 @@ func run(args []string, w io.Writer) error {
 	jsonPath := fs.String("json", "", "also write all results as JSON to this file")
 	workers := fs.String("workers", "", "comma-separated clrearlyd worker addresses for distributed sweeps")
 	timing := fs.Bool("timing", true, "include wall-clock times in section headers")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
+	}
+	// The fitness-cache summary goes to stderr: stdout is golden-compared
+	// across cache configurations and worker counts.
+	defer func() {
+		t := core.FitnessCacheTotals()
+		if t.Hits+t.Misses+t.Bypasses > 0 {
+			fmt.Fprintf(os.Stderr, "fitness cache: %d hits, %d misses, %d bypasses, %d evictions (hit rate %.1f%%)\n",
+				t.Hits, t.Misses, t.Bypasses, t.Evictions, 100*t.HitRate())
+		}
+	}()
 
 	cfg := experiments.Default()
 	if *quick {

@@ -28,12 +28,21 @@ type Library struct {
 // NumTypes returns the number of task types covered.
 func (l *Library) NumTypes() int { return len(l.impls) }
 
-// Impls returns the base implementations of the given task type.
+// Impls returns the base implementations of the given task type as an
+// owned copy.
 func (l *Library) Impls(taskType int) []relmodel.Impl {
+	return append([]relmodel.Impl(nil), l.ImplsShared(taskType)...)
+}
+
+// ImplsShared returns the implementations of the given task type as a
+// shared read-only view — the allocation-free accessor for hot paths
+// (genome decoding touches it for every task of every fitness evaluation).
+// Callers must not modify the returned slice; use Impls for a copy.
+func (l *Library) ImplsShared(taskType int) []relmodel.Impl {
 	if taskType < 0 || taskType >= len(l.impls) {
 		panic(fmt.Sprintf("characterize: task type %d out of range [0,%d)", taskType, len(l.impls)))
 	}
-	return append([]relmodel.Impl(nil), l.impls[taskType]...)
+	return l.impls[taskType]
 }
 
 // TotalImpls returns the total number of implementations across all types.

@@ -46,6 +46,7 @@ type fcProblem struct {
 	maxModes int
 	objs     []SystemObjective
 	cache    *metricsCache
+	fit      *fitnessCache // nil when the instance disables memoization
 }
 
 func newFCProblem(inst *Instance, restrict layerRestriction) *fcProblem {
@@ -56,6 +57,7 @@ func newFCProblem(inst *Instance, restrict layerRestriction) *fcProblem {
 		maxModes: maxModes(inst.Platform),
 		objs:     inst.objectives(),
 		cache:    inst.sharedMetrics(),
+		fit:      inst.sharedFitness(),
 	}
 }
 
@@ -70,7 +72,7 @@ func (p *fcProblem) RandomGene(rng *rand.Rand, task int) moea.Gene {
 		g.Mode, g.HW, g.SSW, g.ASW = 0, 0, 0, 0
 	} else {
 		g = moea.Gene{
-			Impl: rng.Intn(len(p.inst.Lib.Impls(tt))),
+			Impl: rng.Intn(len(p.inst.Lib.ImplsShared(tt))),
 			PE:   rng.Intn(p.inst.Platform.NumPEs()),
 		}
 	}
@@ -113,7 +115,7 @@ func (p *fcProblem) MutateGene(rng *rand.Rand, task int, g moea.Gene) moea.Gene 
 	tt := p.inst.Graph.Task(task).Type
 	switch fields[rng.Intn(len(fields))] {
 	case 0:
-		g.Impl = rng.Intn(len(p.inst.Lib.Impls(tt)))
+		g.Impl = rng.Intn(len(p.inst.Lib.ImplsShared(tt)))
 	case 1:
 		g.PE = rng.Intn(p.inst.Platform.NumPEs())
 	case 2:
@@ -133,7 +135,7 @@ func (p *fcProblem) MutateGene(rng *rand.Rand, task int, g moea.Gene) moea.Gene 
 // chosen implementation's PE type (modulo), so every gene decodes validly.
 func (p *fcProblem) decodeGene(task int, g moea.Gene) (relmodel.Impl, relmodel.Assignment, int) {
 	tt := p.inst.Graph.Task(task).Type
-	impls := p.inst.Lib.Impls(tt)
+	impls := p.inst.Lib.ImplsShared(tt)
 	implIdx := mod(g.Impl, len(impls))
 	impl := impls[implIdx]
 	pt := p.inst.Platform.Types()[impl.PETypeIndex]
@@ -163,7 +165,7 @@ func (p *fcProblem) decodeGene(task int, g moea.Gene) (relmodel.Impl, relmodel.A
 func (p *fcProblem) taskMetrics(task int, g moea.Gene) (relmodel.Metrics, int) {
 	impl, asg, pe := p.decodeGene(task, g)
 	tt := p.inst.Graph.Task(task).Type
-	impls := p.inst.Lib.Impls(tt)
+	impls := p.inst.Lib.ImplsShared(tt)
 	key := metricsKey{taskType: tt, impl: mod(g.Impl, len(impls)), asg: asg}
 	m := p.cache.lookup(key, func() relmodel.Metrics {
 		pt := p.inst.Platform.Types()[impl.PETypeIndex]
@@ -178,9 +180,14 @@ func (p *fcProblem) taskMetrics(task int, g moea.Gene) (relmodel.Metrics, int) {
 	return m, pe
 }
 
-func (p *fcProblem) decisions(g *moea.Genome) []schedule.TaskDecision {
+// decisionsInto resolves the genome into per-task schedule decisions,
+// reusing dst's capacity.
+func (p *fcProblem) decisionsInto(dst []schedule.TaskDecision, g *moea.Genome) []schedule.TaskDecision {
 	n := p.inst.Graph.NumTasks()
-	decisions := make([]schedule.TaskDecision, n)
+	if cap(dst) < n {
+		dst = make([]schedule.TaskDecision, n)
+	}
+	dst = dst[:n]
 	for t := 0; t < n; t++ {
 		m, pe := p.taskMetrics(t, g.Genes[t])
 		d := schedule.TaskDecision{PE: pe, Metrics: m}
@@ -188,25 +195,57 @@ func (p *fcProblem) decisions(g *moea.Genome) []schedule.TaskDecision {
 			impl, asg, _ := p.decodeGene(t, g.Genes[t])
 			d.MemKB = relmodel.EffectiveFootprintKB(impl, asg, p.inst.Catalog)
 		}
-		decisions[t] = d
+		dst[t] = d
 	}
-	return decisions
+	return dst
 }
 
-func (p *fcProblem) Evaluate(g *moea.Genome) moea.Evaluation {
-	res, err := schedule.RunWithComm(p.inst.Graph, p.inst.Platform, g.Order, p.decisions(g), p.inst.Comm)
+// fcEvaluator is the per-worker scratch of fcProblem fitness evaluation:
+// a reusable decision buffer, a reusable schedule evaluator and the key
+// scratch of the genome-level fitness cache.
+type fcEvaluator struct {
+	p         *fcProblem
+	sched     *schedule.Evaluator
+	decisions []schedule.TaskDecision
+	key       []uint64
+}
+
+// NewEvaluator implements moea.ScratchProblem.
+func (p *fcProblem) NewEvaluator() moea.Evaluator {
+	return &fcEvaluator{p: p, sched: schedule.NewEvaluator()}
+}
+
+func (e *fcEvaluator) Evaluate(g *moea.Genome) moea.Evaluation {
+	e.decisions = e.p.decisionsInto(e.decisions, g)
+	if e.p.fit == nil {
+		return e.run(g)
+	}
+	e.key = appendFitnessKey(e.key[:0], g.Order, e.decisions)
+	return e.p.fit.lookup(fitnessHash(e.key), e.key, func() ([]float64, float64) {
+		ev := e.run(g)
+		return ev.Objectives, ev.Violation
+	})
+}
+
+// run schedules the already-decoded decisions and derives the evaluation.
+func (e *fcEvaluator) run(g *moea.Genome) moea.Evaluation {
+	res, err := e.sched.RunWithComm(e.p.inst.Graph, e.p.inst.Platform, g.Order, e.decisions, e.p.inst.Comm)
 	if err != nil {
 		panic("core: schedule evaluation failed: " + err.Error())
 	}
 	return moea.Evaluation{
-		Objectives: objectiveVector(res, p.objs),
-		Violation:  totalViolation(p.inst, res),
+		Objectives: objectiveVector(res, e.p.objs),
+		Violation:  totalViolation(e.p.inst, res),
 	}
+}
+
+func (p *fcProblem) Evaluate(g *moea.Genome) moea.Evaluation {
+	return p.NewEvaluator().Evaluate(g)
 }
 
 // decodeResult re-runs the scheduler for reporting purposes.
 func (p *fcProblem) decodeResult(g *moea.Genome) *schedule.Result {
-	res, err := schedule.RunWithComm(p.inst.Graph, p.inst.Platform, g.Order, p.decisions(g), p.inst.Comm)
+	res, err := schedule.RunWithComm(p.inst.Graph, p.inst.Platform, g.Order, p.decisionsInto(nil, g), p.inst.Comm)
 	if err != nil {
 		panic("core: schedule decoding failed: " + err.Error())
 	}
@@ -222,6 +261,7 @@ type pfProblem struct {
 	flib   *tdse.Library
 	compat [][]int
 	objs   []SystemObjective
+	fit    *fitnessCache // shared with fcProblem: same instance, same keys
 }
 
 func newPFProblem(inst *Instance, flib *tdse.Library) *pfProblem {
@@ -230,6 +270,7 @@ func newPFProblem(inst *Instance, flib *tdse.Library) *pfProblem {
 		flib:   flib,
 		compat: compatiblePEs(inst.Platform),
 		objs:   inst.objectives(),
+		fit:    inst.sharedFitness(),
 	}
 }
 
@@ -263,26 +304,71 @@ func (p *pfProblem) decodeGene(task int, g moea.Gene) (tdse.Candidate, int) {
 	return c, pe
 }
 
-func (p *pfProblem) Evaluate(g *moea.Genome) moea.Evaluation {
-	res := p.decodeResult(g)
-	return moea.Evaluation{
-		Objectives: objectiveVector(res, p.objs),
-		Violation:  totalViolation(p.inst, res),
-	}
-}
-
-func (p *pfProblem) decodeResult(g *moea.Genome) *schedule.Result {
+// decisionsInto resolves the genome against the Pareto-filtered candidate
+// library, reusing dst's capacity.
+func (p *pfProblem) decisionsInto(dst []schedule.TaskDecision, g *moea.Genome) []schedule.TaskDecision {
 	n := p.inst.Graph.NumTasks()
-	decisions := make([]schedule.TaskDecision, n)
+	if cap(dst) < n {
+		dst = make([]schedule.TaskDecision, n)
+	}
+	dst = dst[:n]
 	for t := 0; t < n; t++ {
 		c, pe := p.decodeGene(t, g.Genes[t])
 		d := schedule.TaskDecision{PE: pe, Metrics: c.Metrics}
 		if p.inst.EnforceMemory {
 			d.MemKB = relmodel.EffectiveFootprintKB(c.Base, c.Assignment, p.inst.Catalog)
 		}
-		decisions[t] = d
+		dst[t] = d
 	}
-	res, err := schedule.RunWithComm(p.inst.Graph, p.inst.Platform, g.Order, decisions, p.inst.Comm)
+	return dst
+}
+
+// pfEvaluator mirrors fcEvaluator for the Pareto-filtered problem. Both
+// key the shared fitness cache by the decoded schedule inputs, so an
+// fcCLR genome re-encoding a pfCLR seed hits the seed's cached evaluation
+// whenever the decoded decisions agree (and computes fresh when a diverged
+// tDSE library makes them differ).
+type pfEvaluator struct {
+	p         *pfProblem
+	sched     *schedule.Evaluator
+	decisions []schedule.TaskDecision
+	key       []uint64
+}
+
+// NewEvaluator implements moea.ScratchProblem.
+func (p *pfProblem) NewEvaluator() moea.Evaluator {
+	return &pfEvaluator{p: p, sched: schedule.NewEvaluator()}
+}
+
+func (e *pfEvaluator) Evaluate(g *moea.Genome) moea.Evaluation {
+	e.decisions = e.p.decisionsInto(e.decisions, g)
+	if e.p.fit == nil {
+		return e.run(g)
+	}
+	e.key = appendFitnessKey(e.key[:0], g.Order, e.decisions)
+	return e.p.fit.lookup(fitnessHash(e.key), e.key, func() ([]float64, float64) {
+		ev := e.run(g)
+		return ev.Objectives, ev.Violation
+	})
+}
+
+func (e *pfEvaluator) run(g *moea.Genome) moea.Evaluation {
+	res, err := e.sched.RunWithComm(e.p.inst.Graph, e.p.inst.Platform, g.Order, e.decisions, e.p.inst.Comm)
+	if err != nil {
+		panic("core: schedule evaluation failed: " + err.Error())
+	}
+	return moea.Evaluation{
+		Objectives: objectiveVector(res, e.p.objs),
+		Violation:  totalViolation(e.p.inst, res),
+	}
+}
+
+func (p *pfProblem) Evaluate(g *moea.Genome) moea.Evaluation {
+	return p.NewEvaluator().Evaluate(g)
+}
+
+func (p *pfProblem) decodeResult(g *moea.Genome) *schedule.Result {
+	res, err := schedule.RunWithComm(p.inst.Graph, p.inst.Platform, g.Order, p.decisionsInto(nil, g), p.inst.Comm)
 	if err != nil {
 		panic("core: schedule decoding failed: " + err.Error())
 	}

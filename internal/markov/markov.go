@@ -12,6 +12,14 @@
 //     reliability model reads as the task's average execution time, and
 //   - the probability of being absorbed in each absorbing state, which the
 //     functional-reliability model reads as P(noError) and P(Error).
+//
+// Chain construction and analysis sit on the hot path of every task-metric
+// evaluation, so the builder is allocation-conscious: edges live in one
+// per-chain arena (a linked list threaded through a single slice), state
+// names are formatted lazily (only error paths and dumps read them), and
+// Analyze draws its index tables, right-hand sides and matrices from a
+// package-level scratch pool. Reset lets callers reuse a chain's storage
+// across builds.
 package markov
 
 import (
@@ -19,49 +27,92 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/matrix"
 )
 
+// stateName is a lazily formatted state name: a fixed prefix plus an
+// optional numeric suffix ("ExecICI" + 2 → "ExecICI/2"). Building the
+// string is deferred to Name(), keeping fmt off the construction hot path.
+type stateName struct {
+	prefix string
+	idx    int32 // -1: no suffix
+}
+
+func (n stateName) String() string {
+	if n.idx < 0 {
+		return n.prefix
+	}
+	return fmt.Sprintf("%s/%d", n.prefix, n.idx)
+}
+
 // Chain is a builder for an absorbing Markov chain. States are referenced
 // by the integer handles returned from AddState/AddAbsorbing.
 type Chain struct {
-	names     []string
+	names     []stateName
 	residence []float64
 	absorbing []bool
-	edges     map[int][]edge
-	start     int
-	hasStart  bool
+	// Edge arena: head/tail index the first/last edge of each state in
+	// earena; edges of one state form a linked list in insertion order.
+	head, tail []int32
+	earena     []edgeNode
+	start      int
+	hasStart   bool
 }
 
-type edge struct {
-	to   int
+type edgeNode struct {
+	to   int32
+	next int32 // index of the next edge of the same state, -1 ends
 	prob float64
 }
 
 // New returns an empty chain.
 func New() *Chain {
-	return &Chain{edges: make(map[int][]edge)}
+	return &Chain{}
+}
+
+// Reset empties the chain while keeping its storage, so one chain value can
+// be rebuilt many times without reallocating.
+func (c *Chain) Reset() {
+	c.names = c.names[:0]
+	c.residence = c.residence[:0]
+	c.absorbing = c.absorbing[:0]
+	c.head = c.head[:0]
+	c.tail = c.tail[:0]
+	c.earena = c.earena[:0]
+	c.start = 0
+	c.hasStart = false
+}
+
+func (c *Chain) addNamed(name stateName, residence float64, absorbing bool) int {
+	c.names = append(c.names, name)
+	c.residence = append(c.residence, residence)
+	c.absorbing = append(c.absorbing, absorbing)
+	c.head = append(c.head, -1)
+	c.tail = append(c.tail, -1)
+	return len(c.names) - 1
 }
 
 // AddState adds a transient state with the given per-visit residence time
 // and returns its handle.
 func (c *Chain) AddState(name string, residence float64) int {
+	return c.AddStateIdx(name, -1, residence)
+}
+
+// AddStateIdx adds a transient state named prefix/idx (idx < 0: just
+// prefix); the name is formatted only when actually read, so hot builders
+// can label indexed states without paying fmt.Sprintf per state.
+func (c *Chain) AddStateIdx(prefix string, idx int, residence float64) int {
 	if residence < 0 || math.IsNaN(residence) {
-		panic(fmt.Sprintf("markov: invalid residence time %v for state %q", residence, name))
+		panic(fmt.Sprintf("markov: invalid residence time %v for state %q", residence, stateName{prefix, int32(idx)}))
 	}
-	c.names = append(c.names, name)
-	c.residence = append(c.residence, residence)
-	c.absorbing = append(c.absorbing, false)
-	return len(c.names) - 1
+	return c.addNamed(stateName{prefix: prefix, idx: int32(idx)}, residence, false)
 }
 
 // AddAbsorbing adds an absorbing state and returns its handle.
 func (c *Chain) AddAbsorbing(name string) int {
-	c.names = append(c.names, name)
-	c.residence = append(c.residence, 0)
-	c.absorbing = append(c.absorbing, true)
-	return len(c.names) - 1
+	return c.addNamed(stateName{prefix: name, idx: -1}, 0, true)
 }
 
 // SetStart marks the initial state of the chain.
@@ -86,7 +137,30 @@ func (c *Chain) Transition(from, to int, prob float64) {
 	if prob == 0 {
 		return
 	}
-	c.edges[from] = append(c.edges[from], edge{to: to, prob: prob})
+	e := int32(len(c.earena))
+	c.earena = append(c.earena, edgeNode{to: int32(to), next: -1, prob: prob})
+	if c.tail[from] < 0 {
+		c.head[from] = e
+	} else {
+		c.earena[c.tail[from]].next = e
+	}
+	c.tail[from] = e
+}
+
+// edges iterates the out-edges of state s in insertion order.
+func (c *Chain) edges(s int, visit func(to int, prob float64)) {
+	for e := c.head[s]; e >= 0; e = c.earena[e].next {
+		visit(int(c.earena[e].to), c.earena[e].prob)
+	}
+}
+
+// outMass sums the outgoing probability of state s.
+func (c *Chain) outMass(s int) float64 {
+	sum := 0.0
+	for e := c.head[s]; e >= 0; e = c.earena[e].next {
+		sum += c.earena[e].prob
+	}
+	return sum
 }
 
 func (c *Chain) checkState(s int) {
@@ -101,7 +175,7 @@ func (c *Chain) NumStates() int { return len(c.names) }
 // Name returns the name of state s.
 func (c *Chain) Name(s int) string {
 	c.checkState(s)
-	return c.names[s]
+	return c.names[s].String()
 }
 
 // Result holds the analysis outputs for an absorbing chain.
@@ -120,11 +194,42 @@ type Result struct {
 // AbsorptionByName returns the absorption probability of the named state.
 func (c *Chain) absorptionName(r *Result, name string) (float64, bool) {
 	for s, p := range r.Absorption {
-		if c.names[s] == name {
+		if c.names[s].idx < 0 && c.names[s].prefix == name {
+			return p, true
+		}
+		if c.names[s].String() == name {
 			return p, true
 		}
 	}
 	return 0, false
+}
+
+// analyzeScratch holds the per-analysis working set: state partitions and
+// index tables, the (I − Q)ᵀ system, its factorization and the solve
+// vectors. Pooled so steady-state Analyze calls reuse one allocation set.
+type analyzeScratch struct {
+	transient, absorbing []int32
+	tIndex, aIndex       []int32 // state handle → row/column index
+	iqT, r               matrix.Dense
+	lu                   matrix.LU
+	e, visits            []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return &analyzeScratch{} }}
+
+// grow returns s resized to n entries, reusing capacity.
+func grow(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // Analyze validates the chain and computes expected time to absorption and
@@ -142,80 +247,77 @@ func (c *Chain) Analyze() (*Result, error) {
 		}, nil
 	}
 
-	var transient, absorbing []int
-	for s := range c.names {
+	sc := scratchPool.Get().(*analyzeScratch)
+	defer scratchPool.Put(sc)
+
+	ns := len(c.names)
+	sc.transient, sc.absorbing = sc.transient[:0], sc.absorbing[:0]
+	sc.tIndex, sc.aIndex = grow(sc.tIndex, ns), grow(sc.aIndex, ns)
+	for s := 0; s < ns; s++ {
 		if c.absorbing[s] {
-			absorbing = append(absorbing, s)
+			sc.aIndex[s] = int32(len(sc.absorbing))
+			sc.absorbing = append(sc.absorbing, int32(s))
 		} else {
-			transient = append(transient, s)
+			sc.tIndex[s] = int32(len(sc.transient))
+			sc.transient = append(sc.transient, int32(s))
 		}
 	}
-	if len(absorbing) == 0 {
+	if len(sc.absorbing) == 0 {
 		return nil, fmt.Errorf("markov: chain has no absorbing state")
 	}
 	// Validate outgoing probability mass of transient states.
-	for _, s := range transient {
-		sum := 0.0
-		for _, e := range c.edges[s] {
-			sum += e.prob
-		}
-		if math.Abs(sum-1) > 1e-9 {
+	for _, s := range sc.transient {
+		if sum := c.outMass(int(s)); math.Abs(sum-1) > 1e-9 {
 			return nil, fmt.Errorf("markov: state %q has outgoing probability %v, want 1", c.names[s], sum)
 		}
 	}
 
-	tIndex := make(map[int]int, len(transient)) // state handle → row in Q
-	for i, s := range transient {
-		tIndex[s] = i
-	}
-	aIndex := make(map[int]int, len(absorbing))
-	for i, s := range absorbing {
-		aIndex[s] = i
-	}
-
-	nT, nA := len(transient), len(absorbing)
-	r := matrix.New(nT, nA) // transient → absorbing
+	nT, nA := len(sc.transient), len(sc.absorbing)
+	r := sc.r.Reshape(nT, nA) // transient → absorbing
 	// Fundamental matrix N = (I − Q)⁻¹. We only need the start row of N:
 	// visits v = e_startᵀ·N, obtained by solving (I − Q)ᵀ·vᵀ = e_start.
 	// (I − Q)ᵀ is assembled in place — transition i→j contributes −Q[i][j]
 	// to entry (j, i) — instead of materializing Q, I − Q and a transposed
 	// copy (this sits on the hot path of every task-metric evaluation).
-	iqT := matrix.Identity(nT)
-	for _, s := range transient {
-		i := tIndex[s]
-		for _, e := range c.edges[s] {
-			if c.absorbing[e.to] {
-				r.Add(i, aIndex[e.to], e.prob)
+	iqT := sc.iqT.ReshapeIdentity(nT)
+	for _, s := range sc.transient {
+		i := int(sc.tIndex[s])
+		for e := c.head[s]; e >= 0; e = c.earena[e].next {
+			to, prob := int(c.earena[e].to), c.earena[e].prob
+			if c.absorbing[to] {
+				r.Add(i, int(sc.aIndex[to]), prob)
 			} else {
-				iqT.Add(tIndex[e.to], i, -e.prob)
+				iqT.Add(int(sc.tIndex[to]), i, -prob)
 			}
 		}
 	}
-	ft, err := matrix.Factorize(iqT)
-	if err != nil {
+	if err := matrix.FactorizeInto(&sc.lu, iqT); err != nil {
 		return nil, fmt.Errorf("markov: chain is not absorbing from every transient state: %w", err)
 	}
-	e := make([]float64, nT)
-	e[tIndex[c.start]] = 1
-	visits := ft.SolveVec(e)
+	sc.e, sc.visits = growF(sc.e, nT), growF(sc.visits, nT)
+	for i := range sc.e {
+		sc.e[i] = 0
+	}
+	sc.e[sc.tIndex[c.start]] = 1
+	sc.lu.SolveVecInto(sc.visits, sc.e)
 
 	res := &Result{
 		ExpectedVisits: make(map[int]float64, nT),
 		Absorption:     make(map[int]float64, nA),
 	}
-	for _, s := range transient {
-		v := visits[tIndex[s]]
-		res.ExpectedVisits[s] = v
+	for _, s := range sc.transient {
+		v := sc.visits[sc.tIndex[s]]
+		res.ExpectedVisits[int(s)] = v
 		res.ExpectedTime += v * c.residence[s]
 	}
 	// Absorption probabilities B = N·R; start row is visitsᵀ·R.
-	for _, s := range absorbing {
-		j := aIndex[s]
+	for _, s := range sc.absorbing {
+		j := int(sc.aIndex[s])
 		p := 0.0
-		for _, ts := range transient {
-			p += visits[tIndex[ts]] * r.At(tIndex[ts], j)
+		for _, ts := range sc.transient {
+			p += sc.visits[sc.tIndex[ts]] * r.At(int(sc.tIndex[ts]), j)
 		}
-		res.Absorption[s] = p
+		res.Absorption[int(s)] = p
 	}
 	return res, nil
 }
@@ -238,11 +340,7 @@ func (c *Chain) Validate() error {
 		if c.absorbing[s] {
 			continue
 		}
-		sum := 0.0
-		for _, e := range c.edges[s] {
-			sum += e.prob
-		}
-		if math.Abs(sum-1) > 1e-9 {
+		if sum := c.outMass(s); math.Abs(sum-1) > 1e-9 {
 			return fmt.Errorf("markov: state %q has outgoing probability %v, want 1", c.names[s], sum)
 		}
 	}
@@ -257,12 +355,12 @@ func (c *Chain) Validate() error {
 			absorbReachable = true
 			continue
 		}
-		for _, e := range c.edges[s] {
-			if !seen[e.to] {
-				seen[e.to] = true
-				stack = append(stack, e.to)
+		c.edges(s, func(to int, _ float64) {
+			if !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
 			}
-		}
+		})
 	}
 	if !absorbReachable {
 		return fmt.Errorf("markov: no absorbing state reachable from start")
@@ -289,7 +387,14 @@ func (c *Chain) Dump() string {
 			kind = "absorbing"
 		}
 		out += fmt.Sprintf("%d %s (%s, residence %.4g)\n", s, c.names[s], kind, c.residence[s])
-		edges := append([]edge(nil), c.edges[s]...)
+		type edge struct {
+			to   int
+			prob float64
+		}
+		var edges []edge
+		c.edges(s, func(to int, prob float64) {
+			edges = append(edges, edge{to: to, prob: prob})
+		})
 		sort.Slice(edges, func(i, j int) bool { return edges[i].to < edges[j].to })
 		for _, e := range edges {
 			out += fmt.Sprintf("  → %s  p=%.6g\n", c.names[e.to], e.prob)
@@ -327,17 +432,18 @@ func (c *Chain) Sample(rng *rand.Rand, maxSteps int) (SampleResult, error) {
 			return res, nil
 		}
 		res.Time += c.residence[state]
-		edges := c.edges[state]
-		if len(edges) == 0 {
+		first := c.head[state]
+		if first < 0 {
 			return res, fmt.Errorf("markov: transient state %q has no outgoing transitions", c.names[state])
 		}
 		r := rng.Float64()
 		acc := 0.0
-		next := edges[len(edges)-1].to
-		for _, e := range edges {
-			acc += e.prob
+		next := -1
+		// Falls through to the last edge when rounding leaves r ≥ Σp.
+		for e := first; e >= 0; e = c.earena[e].next {
+			acc += c.earena[e].prob
+			next = int(c.earena[e].to)
 			if r < acc {
-				next = e.to
 				break
 			}
 		}

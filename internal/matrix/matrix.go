@@ -52,6 +52,37 @@ func Identity(n int) *Dense {
 	return m
 }
 
+// Reshape resizes m to rows×cols, zeroing every entry. The backing storage
+// is reused when large enough, so repeated Reshape calls on a scratch matrix
+// allocate only when the required size grows — the reuse hook for callers
+// that solve many small systems in a loop.
+func (m *Dense) Reshape(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.data) < n {
+		m.data = make([]float64, n)
+	} else {
+		m.data = m.data[:n]
+		for i := range m.data {
+			m.data[i] = 0
+		}
+	}
+	m.rows, m.cols = rows, cols
+	return m
+}
+
+// ReshapeIdentity resizes m to the n×n identity, reusing storage like
+// Reshape.
+func (m *Dense) ReshapeIdentity(n int) *Dense {
+	m.Reshape(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
 // Rows returns the number of rows.
 func (m *Dense) Rows() int { return m.rows }
 
@@ -193,12 +224,27 @@ type LU struct {
 // Factorize computes the LU decomposition of the square matrix a.
 // It returns an error if a is singular to working precision.
 func Factorize(a *Dense) (*LU, error) {
+	f := &LU{}
+	if err := FactorizeInto(f, a.Clone()); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FactorizeInto computes the LU decomposition of the square matrix a into f,
+// overwriting a's storage with the packed factors and reusing f's pivot
+// buffer. It is Factorize without the defensive clone, for callers that
+// assemble a fresh system every iteration and reuse one scratch LU.
+func FactorizeInto(f *LU, a *Dense) error {
 	if a.rows != a.cols {
-		return nil, fmt.Errorf("matrix: cannot factorize non-square %dx%d matrix", a.rows, a.cols)
+		return fmt.Errorf("matrix: cannot factorize non-square %dx%d matrix", a.rows, a.cols)
 	}
 	n := a.rows
-	lu := a.Clone()
-	pivot := make([]int, n)
+	lu := a
+	if cap(f.pivot) < n {
+		f.pivot = make([]int, n)
+	}
+	pivot := f.pivot[:n]
 	for i := range pivot {
 		pivot[i] = i
 	}
@@ -213,7 +259,7 @@ func Factorize(a *Dense) (*LU, error) {
 			}
 		}
 		if max == 0 || math.IsNaN(max) {
-			return nil, fmt.Errorf("matrix: singular matrix at pivot %d", k)
+			return fmt.Errorf("matrix: singular matrix at pivot %d", k)
 		}
 		if p != k {
 			lu.swapRows(p, k)
@@ -232,7 +278,8 @@ func Factorize(a *Dense) (*LU, error) {
 			}
 		}
 	}
-	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+	f.lu, f.pivot, f.sign = lu, pivot, sign
+	return nil
 }
 
 func (m *Dense) swapRows(a, b int) {
@@ -245,11 +292,18 @@ func (m *Dense) swapRows(a, b int) {
 
 // SolveVec solves A·x = b for x using the factorization.
 func (f *LU) SolveVec(b []float64) []float64 {
+	x := make([]float64, f.lu.rows)
+	f.SolveVecInto(x, b)
+	return x
+}
+
+// SolveVecInto solves A·x = b into the caller-provided x (which must not
+// alias b), the allocation-free form of SolveVec.
+func (f *LU) SolveVecInto(x, b []float64) {
 	n := f.lu.rows
-	if len(b) != n {
-		panic(fmt.Sprintf("matrix: rhs length %d, want %d", len(b), n))
+	if len(b) != n || len(x) != n {
+		panic(fmt.Sprintf("matrix: solve buffers %d/%d, want %d", len(x), len(b), n))
 	}
-	x := make([]float64, n)
 	// Apply permutation.
 	for i := 0; i < n; i++ {
 		x[i] = b[f.pivot[i]]
@@ -270,7 +324,6 @@ func (f *LU) SolveVec(b []float64) []float64 {
 		}
 		x[i] = s / f.lu.At(i, i)
 	}
-	return x
 }
 
 // Solve solves A·X = B for X (B may have multiple columns).

@@ -287,6 +287,9 @@ func tournament(rng *rand.Rand, pop []*solution, k int) *solution {
 // affects results: each solution's evaluation is independent and written to
 // its own slot.
 func evaluate(p Problem, sols []*solution, workers int) {
+	if len(sols) == 0 {
+		return
+	}
 	acquired := 0
 	if workers <= 0 {
 		want := runtime.GOMAXPROCS(0)
@@ -294,32 +297,41 @@ func evaluate(p Problem, sols []*solution, workers int) {
 			want = len(sols)
 		}
 		acquired = sweep.AcquireWorkers(want)
-		defer sweep.ReleaseWorkers(acquired)
+		defer func() { sweep.ReleaseWorkers(acquired) }()
 		workers = acquired
 	}
 	if workers > len(sols) {
+		// Hand back tokens the clamp leaves unused instead of holding them
+		// for the whole generation.
+		if acquired > len(sols) {
+			sweep.ReleaseWorkers(acquired - len(sols))
+			acquired = len(sols)
+		}
 		workers = len(sols)
 	}
 	if workers <= 1 {
+		ev := newEvaluator(p)
 		for _, s := range sols {
-			s.eval = p.Evaluate(s.genome)
+			s.eval = ev.Evaluate(s.genome)
 		}
 		return
 	}
 	// Index striding over a shared atomic counter: no channel sends per
-	// solution and no per-item allocation on the dispatch path.
+	// solution and no per-item allocation on the dispatch path. Each worker
+	// owns one evaluator, so scratch state is goroutine-local.
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			ev := newEvaluator(p)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(sols) {
 					return
 				}
-				sols[i].eval = p.Evaluate(sols[i].genome)
+				sols[i].eval = ev.Evaluate(sols[i].genome)
 			}
 		}()
 	}
@@ -371,12 +383,13 @@ func RandomSearch(p Problem, evals int, seed int64) (*Result, error) {
 		return nil, fmt.Errorf("moea: random search needs at least one evaluation")
 	}
 	rng := rand.New(rand.NewSource(seed))
+	ev := newEvaluator(p)
 	var archive []*solution
 	batch := make([]*solution, 0, 256)
 	res := &Result{}
 	for i := 0; i < evals; i++ {
 		s := &solution{genome: RandomGenome(rng, p)}
-		s.eval = p.Evaluate(s.genome)
+		s.eval = ev.Evaluate(s.genome)
 		batch = append(batch, s)
 		if len(batch) == cap(batch) || i == evals-1 {
 			archive = updateArchive(archive, batch, 256)

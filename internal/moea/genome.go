@@ -85,6 +85,35 @@ type Problem interface {
 	Evaluate(g *Genome) Evaluation
 }
 
+// Evaluator computes genome fitness. Every Problem is an Evaluator;
+// ScratchProblem implementations mint evaluators that carry reusable
+// per-worker scratch.
+type Evaluator interface {
+	Evaluate(g *Genome) Evaluation
+}
+
+// ScratchProblem is a Problem whose fitness evaluation benefits from
+// goroutine-local reusable state (decision buffers, schedule working sets).
+// The engines call NewEvaluator once per evaluation worker and route all of
+// that worker's evaluations through it, so steady-state generations
+// allocate near zero. Evaluators must be independent: two evaluators of
+// one problem may run concurrently.
+type ScratchProblem interface {
+	Problem
+	// NewEvaluator returns a fresh evaluator for exclusive use by one
+	// goroutine. Results must be identical to Problem.Evaluate.
+	NewEvaluator() Evaluator
+}
+
+// newEvaluator returns a scratch-backed evaluator when the problem offers
+// one, or the problem itself otherwise.
+func newEvaluator(p Problem) Evaluator {
+	if sp, ok := p.(ScratchProblem); ok {
+		return sp.NewEvaluator()
+	}
+	return p
+}
+
 // RandomGenome draws a uniformly random individual for the problem.
 func RandomGenome(rng *rand.Rand, p Problem) *Genome {
 	n := p.NumTasks()

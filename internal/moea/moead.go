@@ -75,6 +75,7 @@ func RunMOEAD(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		updateIdeal(s.eval)
 	}
 
+	ev := newEvaluator(p)
 	neighbors := neighborhoods(weights, defaultNeighbors(params))
 	archiveCap := params.ArchiveCap
 	if archiveCap <= 0 {
@@ -106,7 +107,7 @@ func RunMOEAD(p Problem, params Params, seeds []*Genome) (*Result, error) {
 			if params.FixedOrder == nil && !params.DisableOrderMutation && rng.Float64() < params.MutationProb {
 				mutateOrder(rng, child)
 			}
-			cs := &solution{genome: child, eval: p.Evaluate(child)}
+			cs := &solution{genome: child, eval: ev.Evaluate(child)}
 			res.Evaluations++
 			updateIdeal(cs.eval)
 			archive = updateArchive(archive, []*solution{cs}, archiveCap)

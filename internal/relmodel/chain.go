@@ -3,6 +3,7 @@ package relmodel
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/markov"
 )
@@ -123,17 +124,27 @@ func (p *ChainParams) pChkError() float64 {
 // checkpoint states; the expected time to absorption is the task's average
 // execution time.
 func BuildTimingChain(p ChainParams) (*markov.Chain, error) {
-	if err := p.Validate(); err != nil {
+	c := markov.New()
+	if err := buildTimingChainInto(c, nil, p); err != nil {
 		return nil, err
 	}
-	c := markov.New()
+	return c, nil
+}
+
+// buildTimingChainInto assembles the timing chain into c (which must be
+// fresh or Reset). execStates, when non-nil, is reused as the per-interval
+// state-handle scratch — the allocation-free path of AnalyzeChains.
+func buildTimingChainInto(c *markov.Chain, execStates []int, p ChainParams) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
 	n := p.Checkpoints + 1
 
 	end := c.AddAbsorbing("End")
 	// next[i] is the state entered after interval i completes cleanly.
-	execStates := make([]int, n)
+	execStates = growInts(execStates, n)
 	for i := 0; i < n; i++ {
-		execStates[i] = c.AddState(fmt.Sprintf("ExecICI/%d", i), p.intervalExec(i)+p.DetTimeUS)
+		execStates[i] = c.AddStateIdx("ExecICI", i, p.intervalExec(i)+p.DetTimeUS)
 	}
 	for i := 0; i < n; i++ {
 		pne := p.pNoError(i)
@@ -142,7 +153,7 @@ func BuildTimingChain(p ChainParams) (*markov.Chain, error) {
 		if i == n-1 {
 			next = end
 		} else {
-			chk := c.AddState(fmt.Sprintf("Chkpnt/%d", i), p.ChkTimeUS)
+			chk := c.AddStateIdx("Chkpnt", i, p.ChkTimeUS)
 			// A detected-and-tolerated error during checkpoint creation
 			// redoes the checkpoint; anything else proceeds (the failure,
 			// if any, is the functional chain's concern).
@@ -152,11 +163,11 @@ func BuildTimingChain(p ChainParams) (*markov.Chain, error) {
 			next = chk
 		}
 
-		hw := c.AddState(fmt.Sprintf("HWRel/%d", i), 0)
-		sswImpl := c.AddState(fmt.Sprintf("SSWImpl/%d", i), 0)
-		sswDet := c.AddState(fmt.Sprintf("SSWDet/%d", i), 0)
-		sswTol := c.AddState(fmt.Sprintf("SSWTol/%d", i), p.TolTimeUS)
-		asw := c.AddState(fmt.Sprintf("ASWRel/%d", i), 0)
+		hw := c.AddStateIdx("HWRel", i, 0)
+		sswImpl := c.AddStateIdx("SSWImpl", i, 0)
+		sswDet := c.AddStateIdx("SSWDet", i, 0)
+		sswTol := c.AddStateIdx("SSWTol", i, p.TolTimeUS)
+		asw := c.AddStateIdx("ASWRel", i, 0)
 
 		c.Transition(exec, next, pne)
 		c.Transition(exec, hw, 1-pne)
@@ -182,7 +193,7 @@ func BuildTimingChain(p ChainParams) (*markov.Chain, error) {
 		c.Transition(asw, next, 1)
 	}
 	c.SetStart(execStates[0])
-	return c, nil
+	return nil
 }
 
 // BuildFunctionalChain constructs the absorbing Markov chain of Fig. 3(b)
@@ -191,18 +202,27 @@ func BuildTimingChain(p ChainParams) (*markov.Chain, error) {
 // reliability. With ModelCheckpointErrors set, checkpoint-creation states
 // can themselves fail (the dotted p_Chke edge of Fig. 3(b)).
 func BuildFunctionalChain(p ChainParams) (*markov.Chain, error) {
-	if err := p.Validate(); err != nil {
+	c := markov.New()
+	if err := buildFunctionalChainInto(c, nil, p); err != nil {
 		return nil, err
 	}
-	c := markov.New()
+	return c, nil
+}
+
+// buildFunctionalChainInto assembles the functional chain into c (fresh or
+// Reset), reusing execStates as scratch when non-nil.
+func buildFunctionalChainInto(c *markov.Chain, execStates []int, p ChainParams) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
 	n := p.Checkpoints + 1
 	pChkE := p.pChkError()
 
 	noErr := c.AddAbsorbing("noError")
 	errS := c.AddAbsorbing("Error")
-	execStates := make([]int, n)
+	execStates = growInts(execStates, n)
 	for i := 0; i < n; i++ {
-		execStates[i] = c.AddState(fmt.Sprintf("ExecICI/%d", i), 0)
+		execStates[i] = c.AddStateIdx("ExecICI", i, 0)
 	}
 	for i := 0; i < n; i++ {
 		pne := p.pNoError(i)
@@ -211,7 +231,7 @@ func BuildFunctionalChain(p ChainParams) (*markov.Chain, error) {
 		if i == n-1 {
 			next = noErr
 		} else {
-			chk := c.AddState(fmt.Sprintf("Chkpnt/%d", i), 0)
+			chk := c.AddStateIdx("Chkpnt", i, 0)
 			// Checkpoint-creation errors (the dotted p_Chke edge of
 			// Fig. 3(b)) are themselves subject to the SSW layer's
 			// detection and tolerance: detected-and-tolerated errors redo
@@ -223,11 +243,11 @@ func BuildFunctionalChain(p ChainParams) (*markov.Chain, error) {
 			next = chk
 		}
 
-		hw := c.AddState(fmt.Sprintf("HWRel/%d", i), 0)
-		sswImpl := c.AddState(fmt.Sprintf("SSWImpl/%d", i), 0)
-		sswDet := c.AddState(fmt.Sprintf("SSWDet/%d", i), 0)
-		sswTol := c.AddState(fmt.Sprintf("SSWTol/%d", i), 0)
-		asw := c.AddState(fmt.Sprintf("ASWRel/%d", i), 0)
+		hw := c.AddStateIdx("HWRel", i, 0)
+		sswImpl := c.AddStateIdx("SSWImpl", i, 0)
+		sswDet := c.AddStateIdx("SSWDet", i, 0)
+		sswTol := c.AddStateIdx("SSWTol", i, 0)
+		asw := c.AddStateIdx("ASWRel", i, 0)
 
 		c.Transition(exec, next, pne)
 		c.Transition(exec, hw, 1-pne)
@@ -252,7 +272,7 @@ func BuildFunctionalChain(p ChainParams) (*markov.Chain, error) {
 		c.Transition(asw, errS, 1-p.MASW)
 	}
 	c.SetStart(execStates[0])
-	return c, nil
+	return nil
 }
 
 // TaskReliability bundles the two chain analyses for one configuration.
@@ -266,19 +286,48 @@ type TaskReliability struct {
 	ErrProb float64
 }
 
+// chainScratch is the reusable working set of one AnalyzeChains call: a
+// chain rebuilt (via Reset) for each of the two models and the per-interval
+// state-handle buffer. Pooled so the task-metric hot path builds both
+// chains without allocating their storage.
+type chainScratch struct {
+	chain      *markov.Chain
+	execStates []int
+}
+
+var chainPool = sync.Pool{New: func() any {
+	return &chainScratch{chain: markov.New()}
+}}
+
+// growInts returns s resized to n entries, reusing capacity.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
 // AnalyzeChains builds and solves both chains of Fig. 3 for the parameters.
 func AnalyzeChains(p ChainParams) (TaskReliability, error) {
 	var out TaskReliability
-	tc, err := BuildTimingChain(p)
-	if err != nil {
+	sc := chainPool.Get().(*chainScratch)
+	defer chainPool.Put(sc)
+	sc.execStates = growInts(sc.execStates, p.Checkpoints+1)
+
+	tc := sc.chain
+	tc.Reset()
+	if err := buildTimingChainInto(tc, sc.execStates, p); err != nil {
 		return out, err
 	}
 	tr, err := tc.Analyze()
 	if err != nil {
 		return out, fmt.Errorf("relmodel: timing chain: %w", err)
 	}
-	fc, err := BuildFunctionalChain(p)
-	if err != nil {
+	out.AvgExTimeUS = tr.ExpectedTime
+
+	fc := sc.chain
+	fc.Reset()
+	if err := buildFunctionalChainInto(fc, sc.execStates, p); err != nil {
 		return out, err
 	}
 	fr, err := fc.Analyze()
@@ -290,7 +339,6 @@ func AnalyzeChains(p ChainParams) (TaskReliability, error) {
 		return out, fmt.Errorf("relmodel: functional chain lacks Error state")
 	}
 	n := float64(p.Checkpoints + 1)
-	out.AvgExTimeUS = tr.ExpectedTime
 	out.MinExTimeUS = p.ExecTimeUS + n*p.DetTimeUS + float64(p.Checkpoints)*p.ChkTimeUS
 	out.ErrProb = pErr
 	return out, nil

@@ -1,0 +1,297 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// Evaluator holds the working set of one list-scheduling evaluation — the
+// Result buffers, the per-PE and per-task bookkeeping arrays, the ready
+// queue and the power-event list — so repeated evaluations of the same
+// graph/platform shape reuse storage instead of allocating it. One
+// Evaluator serves one goroutine at a time; the GA's parallel fitness
+// workers each own one (see moea.ScratchProblem).
+//
+// The *Result returned by Run/RunWithComm points into the Evaluator's
+// buffers and is valid only until the next call on the same Evaluator;
+// callers that retain results across calls must copy what they keep.
+type Evaluator struct {
+	res    Result
+	seen   []bool
+	done   []bool
+	peFree []float64
+	indeg  []int32
+	pos    []int32 // task → position in the priority permutation
+	heap   []int32 // min-heap of positions of ready tasks
+	events []powerEvent
+	damage []float64
+
+	// edgeKB caches the dependency data volumes of edgeGraph for the
+	// communication model; rebuilt only when the graph changes.
+	edgeKB    map[[2]int]float64
+	edgeGraph *taskgraph.Graph
+}
+
+// NewEvaluator returns an empty Evaluator; buffers grow on first use.
+func NewEvaluator() *Evaluator { return &Evaluator{} }
+
+// powerEvent is one edge of the power profile: delta is +PowerW at a task's
+// start and −PowerW at its end.
+type powerEvent struct {
+	at    float64
+	delta float64
+}
+
+// powerEvents orders events by time, releases before acquisitions at equal
+// instants so back-to-back tasks on one PE do not double-count. Pointer
+// methods let sort.Sort run without boxing the slice.
+type powerEvents []powerEvent
+
+func (p *powerEvents) Len() int      { return len(*p) }
+func (p *powerEvents) Swap(i, j int) { (*p)[i], (*p)[j] = (*p)[j], (*p)[i] }
+func (p *powerEvents) Less(i, j int) bool {
+	a, b := (*p)[i], (*p)[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.delta < b.delta
+}
+
+// growF returns s resized to n entries, zeroed, reusing capacity.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// growB is growF for bool buffers.
+func growB(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// growI32 is growF for int32 buffers (not zeroed; every entry is written).
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// heapPush adds a ready task's priority position to the min-heap.
+func (ev *Evaluator) heapPush(p int32) {
+	h := append(ev.heap, p)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	ev.heap = h
+}
+
+// heapPop removes and returns the smallest priority position.
+func (ev *Evaluator) heapPop() int32 {
+	h := ev.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l] < h[small] {
+			small = l
+		}
+		if r < len(h) && h[r] < h[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	ev.heap = h
+	return top
+}
+
+// Run evaluates the schedule into the Evaluator's buffers; see the package
+// Run for semantics.
+func (ev *Evaluator) Run(g *taskgraph.Graph, p *platform.Platform, priority []int, decisions []TaskDecision) (*Result, error) {
+	return ev.RunWithComm(g, p, priority, decisions, CommModel{})
+}
+
+// RunWithComm evaluates the communication-aware schedule into the
+// Evaluator's buffers; see the package RunWithComm for semantics. The ready
+// set is tracked by predecessor counts and a priority-position min-heap, so
+// each scheduling step costs O(log n) instead of rescanning the priority
+// list — same task order as the rescan ("among eligible tasks, the one
+// earliest in priority order"), identical floats.
+func (ev *Evaluator) RunWithComm(g *taskgraph.Graph, p *platform.Platform, priority []int, decisions []TaskDecision, comm CommModel) (*Result, error) {
+	n := g.NumTasks()
+	if len(priority) != n {
+		return nil, fmt.Errorf("schedule: priority has %d entries, want %d", len(priority), n)
+	}
+	if len(decisions) != n {
+		return nil, fmt.Errorf("schedule: decisions has %d entries, want %d", len(decisions), n)
+	}
+	ev.seen = growB(ev.seen, n)
+	ev.pos = growI32(ev.pos, n)
+	for i, t := range priority {
+		if t < 0 || t >= n || ev.seen[t] {
+			return nil, fmt.Errorf("schedule: priority is not a permutation of task IDs")
+		}
+		ev.seen[t] = true
+		ev.pos[t] = int32(i)
+	}
+	for t, d := range decisions {
+		if d.PE < 0 || d.PE >= p.NumPEs() {
+			return nil, fmt.Errorf("schedule: task %d mapped to unknown PE %d", t, d.PE)
+		}
+		if d.Metrics.AvgExTimeUS <= 0 {
+			return nil, fmt.Errorf("schedule: task %d has non-positive execution time", t)
+		}
+	}
+
+	if comm.enabled() && ev.edgeGraph != g {
+		if ev.edgeKB == nil {
+			ev.edgeKB = make(map[[2]int]float64, len(g.Edges()))
+		} else {
+			clear(ev.edgeKB)
+		}
+		for _, e := range g.Edges() {
+			ev.edgeKB[[2]int{e.From, e.To}] = e.DataKB
+		}
+		ev.edgeGraph = g
+	}
+
+	res := &ev.res
+	*res = Result{
+		StartUS:  growF(res.StartUS, n),
+		EndUS:    growF(res.EndUS, n),
+		PEBusyUS: growF(res.PEBusyUS, p.NumPEs()),
+		PEMemKB:  growF(res.PEMemKB, p.NumPEs()),
+	}
+	for t, d := range decisions {
+		if d.MemKB < 0 {
+			return nil, fmt.Errorf("schedule: task %d has negative footprint", t)
+		}
+		res.PEMemKB[d.PE] += d.MemKB
+	}
+	ev.peFree = growF(ev.peFree, p.NumPEs())
+	ev.indeg = growI32(ev.indeg, n)
+	ev.heap = ev.heap[:0]
+	for t := 0; t < n; t++ {
+		ev.indeg[t] = int32(len(g.Preds(t)))
+		if ev.indeg[t] == 0 {
+			ev.heapPush(ev.pos[t])
+		}
+	}
+	scheduled := 0
+	for len(ev.heap) > 0 {
+		t := priority[ev.heapPop()]
+		readyAt := 0.0
+		for _, pr := range g.Preds(t) {
+			at := res.EndUS[pr]
+			if comm.enabled() && decisions[pr].PE != decisions[t].PE {
+				at += comm.Delay(ev.edgeKB[[2]int{pr, t}])
+			}
+			if at > readyAt {
+				readyAt = at
+			}
+		}
+		d := decisions[t]
+		start := math.Max(readyAt, ev.peFree[d.PE])
+		end := start + d.Metrics.AvgExTimeUS
+		res.StartUS[t] = start
+		res.EndUS[t] = end
+		ev.peFree[d.PE] = end
+		res.PEBusyUS[d.PE] += d.Metrics.AvgExTimeUS
+		scheduled++
+		for _, s := range g.Succs(t) {
+			ev.indeg[s]--
+			if ev.indeg[s] == 0 {
+				ev.heapPush(ev.pos[s])
+			}
+		}
+	}
+	if scheduled < n {
+		// Unreachable for valid DAGs: some task always becomes ready.
+		return nil, fmt.Errorf("schedule: deadlock — no eligible task (cyclic dependencies?)")
+	}
+
+	// Eq. 1 — average makespan.
+	for _, e := range res.EndUS {
+		if e > res.MakespanUS {
+			res.MakespanUS = e
+		}
+	}
+
+	// Eq. 3 — criticality-weighted functional reliability.
+	zeta := g.NormalizedCriticality()
+	for t := 0; t < n; t++ {
+		res.FunctionalRel += (1 - decisions[t].Metrics.ErrProb) * zeta[t]
+	}
+	res.ErrProb = 1 - res.FunctionalRel
+
+	// Eq. 2 — lifetime reliability: damage accumulation per period on each
+	// PE, system MTTF is the minimum over loaded PEs.
+	res.MTTFHours = math.Inf(1)
+	ev.damage = growF(ev.damage, p.NumPEs()) // Σ AvgExT_t / MTTF_(t,i,p), µs/hour
+	for t := 0; t < n; t++ {
+		d := decisions[t]
+		ev.damage[d.PE] += d.Metrics.AvgExTimeUS / d.Metrics.MTTFHours
+	}
+	for pe := range ev.damage {
+		if ev.damage[pe] == 0 {
+			continue
+		}
+		mttf := g.PeriodUS / ev.damage[pe]
+		if mttf < res.MTTFHours {
+			res.MTTFHours = mttf
+		}
+	}
+
+	// Eq. 4 — peak power over the schedule and total energy.
+	if cap(ev.events) < 2*n {
+		ev.events = make([]powerEvent, 0, 2*n)
+	}
+	ev.events = ev.events[:0]
+	for t := 0; t < n; t++ {
+		w := decisions[t].Metrics.PowerW
+		ev.events = append(ev.events,
+			powerEvent{at: res.StartUS[t], delta: w},
+			powerEvent{at: res.EndUS[t], delta: -w},
+		)
+		res.EnergyUJ += decisions[t].Metrics.AvgExTimeUS * w
+	}
+	sort.Sort((*powerEvents)(&ev.events))
+	cur := 0.0
+	for _, e := range ev.events {
+		cur += e.delta
+		if cur > res.PeakPowerW {
+			res.PeakPowerW = cur
+		}
+	}
+	return res, nil
+}

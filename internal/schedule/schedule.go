@@ -9,8 +9,6 @@ package schedule
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"repro/internal/platform"
 	"repro/internal/relmodel"
@@ -88,156 +86,8 @@ func Run(g *taskgraph.Graph, p *platform.Platform, priority []int, decisions []T
 // plus the interconnect delay of the edge when the two tasks sit on
 // different PEs.
 func RunWithComm(g *taskgraph.Graph, p *platform.Platform, priority []int, decisions []TaskDecision, comm CommModel) (*Result, error) {
-	n := g.NumTasks()
-	if len(priority) != n {
-		return nil, fmt.Errorf("schedule: priority has %d entries, want %d", len(priority), n)
-	}
-	if len(decisions) != n {
-		return nil, fmt.Errorf("schedule: decisions has %d entries, want %d", len(decisions), n)
-	}
-	seen := make([]bool, n)
-	for _, t := range priority {
-		if t < 0 || t >= n || seen[t] {
-			return nil, fmt.Errorf("schedule: priority is not a permutation of task IDs")
-		}
-		seen[t] = true
-	}
-	for t, d := range decisions {
-		if d.PE < 0 || d.PE >= p.NumPEs() {
-			return nil, fmt.Errorf("schedule: task %d mapped to unknown PE %d", t, d.PE)
-		}
-		if d.Metrics.AvgExTimeUS <= 0 {
-			return nil, fmt.Errorf("schedule: task %d has non-positive execution time", t)
-		}
-	}
-
-	// Per-task predecessor edge data volumes for the communication model.
-	edgeKB := map[[2]int]float64{}
-	if comm.enabled() {
-		for _, e := range g.Edges() {
-			edgeKB[[2]int{e.From, e.To}] = e.DataKB
-		}
-	}
-
-	res := &Result{
-		StartUS:  make([]float64, n),
-		EndUS:    make([]float64, n),
-		PEBusyUS: make([]float64, p.NumPEs()),
-		PEMemKB:  make([]float64, p.NumPEs()),
-	}
-	for t, d := range decisions {
-		if d.MemKB < 0 {
-			return nil, fmt.Errorf("schedule: task %d has negative footprint", t)
-		}
-		res.PEMemKB[d.PE] += d.MemKB
-	}
-	peFree := make([]float64, p.NumPEs())
-	done := make([]bool, n)
-	scheduled := 0
-	for scheduled < n {
-		progress := false
-		for _, t := range priority {
-			if done[t] {
-				continue
-			}
-			ready := true
-			readyAt := 0.0
-			for _, pr := range g.Preds(t) {
-				if !done[pr] {
-					ready = false
-					break
-				}
-				at := res.EndUS[pr]
-				if comm.enabled() && decisions[pr].PE != decisions[t].PE {
-					at += comm.Delay(edgeKB[[2]int{pr, t}])
-				}
-				if at > readyAt {
-					readyAt = at
-				}
-			}
-			if !ready {
-				continue
-			}
-			d := decisions[t]
-			start := math.Max(readyAt, peFree[d.PE])
-			end := start + d.Metrics.AvgExTimeUS
-			res.StartUS[t] = start
-			res.EndUS[t] = end
-			peFree[d.PE] = end
-			res.PEBusyUS[d.PE] += d.Metrics.AvgExTimeUS
-			done[t] = true
-			scheduled++
-			progress = true
-			break
-		}
-		if !progress {
-			// Unreachable for valid DAGs: some task always becomes ready.
-			return nil, fmt.Errorf("schedule: deadlock — no eligible task (cyclic dependencies?)")
-		}
-	}
-
-	// Eq. 1 — average makespan.
-	for _, e := range res.EndUS {
-		if e > res.MakespanUS {
-			res.MakespanUS = e
-		}
-	}
-
-	// Eq. 3 — criticality-weighted functional reliability.
-	zeta := g.NormalizedCriticality()
-	for t := 0; t < n; t++ {
-		res.FunctionalRel += (1 - decisions[t].Metrics.ErrProb) * zeta[t]
-	}
-	res.ErrProb = 1 - res.FunctionalRel
-
-	// Eq. 2 — lifetime reliability: damage accumulation per period on each
-	// PE, system MTTF is the minimum over loaded PEs.
-	res.MTTFHours = math.Inf(1)
-	damage := make([]float64, p.NumPEs()) // Σ AvgExT_t / MTTF_(t,i,p), µs/hour
-	for t := 0; t < n; t++ {
-		d := decisions[t]
-		damage[d.PE] += d.Metrics.AvgExTimeUS / d.Metrics.MTTFHours
-	}
-	for pe := range damage {
-		if damage[pe] == 0 {
-			continue
-		}
-		mttf := g.PeriodUS / damage[pe]
-		if mttf < res.MTTFHours {
-			res.MTTFHours = mttf
-		}
-	}
-
-	// Eq. 4 — peak power over the schedule and total energy.
-	type event struct {
-		at    float64
-		delta float64
-	}
-	events := make([]event, 0, 2*n)
-	for t := 0; t < n; t++ {
-		w := decisions[t].Metrics.PowerW
-		events = append(events,
-			event{at: res.StartUS[t], delta: w},
-			event{at: res.EndUS[t], delta: -w},
-		)
-		res.EnergyUJ += decisions[t].Metrics.AvgExTimeUS * w
-	}
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].at != events[j].at {
-			return events[i].at < events[j].at
-		}
-		// Process releases before acquisitions at equal instants so
-		// back-to-back tasks on one PE do not double-count.
-		return events[i].delta < events[j].delta
-	})
-	cur := 0.0
-	for _, e := range events {
-		cur += e.delta
-		if cur > res.PeakPowerW {
-			res.PeakPowerW = cur
-		}
-	}
-	return res, nil
+	// A throwaway Evaluator: the returned Result owns the buffers outright.
+	return new(Evaluator).RunWithComm(g, p, priority, decisions, comm)
 }
 
 // Spec is the set of QoS constraints of Eq. 5. Zero values mean

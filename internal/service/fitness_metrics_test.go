@@ -1,0 +1,38 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestMetricsReportFitnessCacheHits pins the service-facing half of the
+// genome-memoization tentpole: after a two-stage proposed job, /metrics
+// must show the fitness cache absorbing repeat evaluations (the counters
+// are process-wide totals, so the assertion is on the delta).
+func TestMetricsReportFitnessCacheHits(t *testing.T) {
+	before := core.FitnessCacheTotals()
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 8, CacheCap: 8})
+
+	jw, code := postJob(t, ts, JobSpec{App: "sobel", Method: "proposed", Pop: 16, Gens: 30, Seed: 3})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%s)", code, jw.Error)
+	}
+	final := waitFor(t, ts, jw.ID, 30*time.Second, terminal)
+	if final.State != StateDone {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+
+	m := getMetrics(t, ts)
+	if m.Fitness.Hits <= before.Hits {
+		t.Fatalf("fitness hits did not advance: before %d, metrics %+v", before.Hits, m.Fitness)
+	}
+	if m.Fitness.Misses <= before.Misses {
+		t.Fatalf("fitness misses did not advance: before %d, metrics %+v", before.Misses, m.Fitness)
+	}
+	if m.Fitness.HitRate <= 0 || m.Fitness.HitRate >= 1 {
+		t.Fatalf("fitness hit rate %v outside (0,1)", m.Fitness.HitRate)
+	}
+}

@@ -103,6 +103,7 @@ type MetricsWire struct {
 	Jobs    JobCountsWire            `json:"jobs"`
 	Queue   QueueWire                `json:"queue"`
 	Cache   CacheWire                `json:"cache"`
+	Fitness FitnessWire              `json:"fitness_cache"`
 	Latency map[string]HistogramWire `json:"latency_ms"`
 }
 
@@ -130,6 +131,16 @@ type CacheWire struct {
 	Misses   int64 `json:"misses"`
 	Size     int   `json:"size"`
 	Capacity int   `json:"capacity"`
+}
+
+// FitnessWire reports the process-wide genome-level fitness-cache counters
+// accumulated across every job's DSE instance (see core.FitnessCacheTotals).
+type FitnessWire struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Bypasses  uint64  `json:"bypasses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
 }
 
 // snapshot captures the counter-side metrics; the server fills in the

@@ -440,7 +440,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		j.mu.Unlock()
 	}()
 
+	// Replay the latest generation snapshot so a subscriber that joins
+	// late — or after a fast job already finished — still observes
+	// progress. Duplicates are harmless: progress events are snapshots.
+	j.mu.Lock()
+	last := j.progress
+	j.mu.Unlock()
+
 	writeSSE(w, "status", j.wire(false))
+	if last != nil {
+		writeSSE(w, "progress", *last)
+	}
 	flusher.Flush()
 	for {
 		select {
@@ -475,6 +485,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.metrics.snapshot()
 	m.Queue = QueueWire{Depth: len(s.queue), Capacity: s.cfg.QueueCap}
+	ft := core.FitnessCacheTotals()
+	m.Fitness = FitnessWire{
+		Hits:      ft.Hits,
+		Misses:    ft.Misses,
+		Bypasses:  ft.Bypasses,
+		Evictions: ft.Evictions,
+		HitRate:   ft.HitRate(),
+	}
 	s.mu.Lock()
 	m.Cache.Size = s.cache.Len()
 	m.Cache.Capacity = s.cfg.CacheCap

@@ -159,7 +159,7 @@ func Enumerate(lib *characterize.Library, taskType int, p *platform.Platform, ca
 		return nil, err
 	}
 	var out []Candidate
-	for _, base := range lib.Impls(taskType) {
+	for _, base := range lib.ImplsShared(taskType) {
 		if opt.ImplicitMaskingOverride >= 0 {
 			base.ImplicitMasking = opt.ImplicitMaskingOverride
 		}
