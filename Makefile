@@ -14,16 +14,18 @@ vet:
 
 # Race-check the concurrency-bearing packages: the sweep executor, the
 # shared metrics cache in core, the GA evaluate workers in moea, the
-# job-queue service, and the distributed sweep coordinator.
+# job-queue service, the durable store, and the distributed sweep
+# coordinator.
 race:
-	$(GO) vet ./... && $(GO) test -race ./internal/sweep ./internal/core ./internal/moea ./internal/service ./internal/dist
+	$(GO) vet ./... && $(GO) test -race ./internal/sweep ./internal/core ./internal/moea ./internal/service ./internal/store ./internal/dist
 
 # Short continuous-fuzzing pass over the input-parsing surfaces: the TGFF
-# text parser and the JobSpec normalizer. Each target gets 10s on top of
-# the checked-in corpus under testdata/fuzz/.
+# text parser, the JobSpec normalizer and the WAL replayer. Each target
+# gets 10s on top of the checked-in corpus under testdata/fuzz/.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzParseText -fuzztime 10s ./internal/tgff
 	$(GO) test -run xxx -fuzz FuzzNormalize -fuzztime 10s ./internal/service
+	$(GO) test -run xxx -fuzz FuzzWALReplay -fuzztime 10s ./internal/store
 
 # Quick statistical cross-validation of the analytical models against the
 # fault-injection simulator (a reduced-trial version of cmd/validate).

@@ -7,7 +7,14 @@
 // Usage:
 //
 //	clrearlyd [-addr :8080] [-workers N] [-queue N] [-cache N] [-drain 30s]
+//	          [-store DIR] [-fsync always|interval|never] [-checkpoint-every K]
 //	          [-pprof addr]
+//
+// With -store the daemon is durable: accepted jobs and finished results are
+// journaled to a write-ahead log under DIR, GA runs checkpoint every K
+// generations, and a restart re-enqueues unfinished jobs (resuming them
+// mid-evolution) and re-serves cached results — a crash loses no
+// acknowledged work.
 //
 // API:
 //
@@ -21,7 +28,7 @@
 //	GET    /healthz             liveness probe
 //	GET    /metrics             jobs by state, queue depth, result- and
 //	                            fitness-cache hit rates, per-method
-//	                            latency histograms
+//	                            latency histograms, store gauges
 //
 // -pprof serves net/http/pprof (goroutine, heap, CPU profiles) on a
 // separate address, e.g. -pprof localhost:6060; off by default so
@@ -34,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -pprof listener
 	"os"
@@ -41,7 +49,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -58,6 +68,10 @@ func run(args []string) error {
 	queueCap := fs.Int("queue", 64, "queued-job capacity; beyond it submissions get 503")
 	cacheCap := fs.Int("cache", 128, "LRU result-cache capacity (fronts)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline for running jobs")
+	storeDir := fs.String("store", "", "durable store directory (empty = in-memory only)")
+	fsyncMode := fs.String("fsync", "always", "store fsync policy: always, interval or never")
+	ckptEvery := fs.Int("checkpoint-every", core.DefaultCheckpointEvery,
+		"GA generations between durable run checkpoints (with -store)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,12 +88,37 @@ func run(args []string) error {
 		}()
 	}
 
-	svc := service.New(service.Config{
-		QueueCap: *queueCap,
-		Workers:  *workers,
-		CacheCap: *cacheCap,
-	})
-	hs := &http.Server{Addr: *addr, Handler: svc}
+	cfg := service.Config{
+		QueueCap:        *queueCap,
+		Workers:         *workers,
+		CacheCap:        *cacheCap,
+		CheckpointEvery: *ckptEvery,
+	}
+	if *storeDir != "" {
+		policy, err := store.ParseSyncPolicy(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		st, err := store.Open(*storeDir, store.Options{Sync: policy})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		cfg.Store = st
+		stats := st.Stats()
+		log.Printf("store %s opened (fsync=%s): %d jobs (%d pending), %d results, %d checkpoints",
+			*storeDir, policy, stats.Jobs, stats.PendingJobs, stats.Results, stats.Checkpoints)
+	}
+
+	svc := service.New(cfg)
+	hs := &http.Server{Handler: svc}
+
+	// An explicit listener (rather than ListenAndServe) reports the bound
+	// address, so ":0" works for tests and scripts that parse the log line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -87,8 +126,8 @@ func run(args []string) error {
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("clrearlyd listening on %s (workers=%d queue=%d cache=%d)",
-			*addr, *workers, *queueCap, *cacheCap)
-		errc <- hs.ListenAndServe()
+			ln.Addr(), *workers, *queueCap, *cacheCap)
+		errc <- hs.Serve(ln)
 	}()
 
 	select {
@@ -103,7 +142,7 @@ func run(args []string) error {
 		log.Printf("http shutdown: %v", err)
 	}
 	if err := svc.Shutdown(shCtx); err != nil {
-		log.Printf("job drain hit deadline; running jobs were cancelled")
+		log.Printf("job drain hit deadline; running jobs were cancelled (checkpointed runs resume on restart)")
 	}
 	log.Printf("clrearlyd stopped")
 	return nil

@@ -86,6 +86,17 @@ type RunConfig struct {
 	// concurrently (Agnostic with Jobs ≠ 1) invoke it from several
 	// goroutines, so handlers must be safe for concurrent use.
 	Progress func(ProgressEvent)
+	// Checkpoint, when non-nil, makes the run durable: every
+	// CheckpointEvery generations each stage hands a resumable engine
+	// snapshot to SaveStage, completed stage fronts go to SaveFront, and a
+	// cancelled stage snapshots its last generation boundary before
+	// returning. A later run of the same spec with the same Checkpointer
+	// state skips completed stages and resumes the interrupted one,
+	// producing a byte-identical final front.
+	Checkpoint Checkpointer
+	// CheckpointEvery is the snapshot period in generations (default
+	// DefaultCheckpointEvery; meaningful only with Checkpoint set).
+	CheckpointEvery int
 }
 
 // ProgressEvent reports per-generation progress of one optimization stage
@@ -131,14 +142,32 @@ func (c RunConfig) paramsFor(stage string) moea.Params {
 }
 
 // runProblem executes the selected engine and decodes the archive front.
+// With cfg.Checkpoint set, a stage whose front was already saved is
+// restored without running, an interrupted stage resumes from its engine
+// snapshot, and the completed front is saved for the next resume.
 func runProblem(p moea.Problem, decode func(*moea.Genome) *schedule.Result, cfg RunConfig, seeds []*moea.Genome, stage string) (*Front, error) {
+	if cfg.Checkpoint != nil {
+		if fs := cfg.Checkpoint.ResumeFront(stage); fs != nil {
+			return restoreFront(fs, decode), nil
+		}
+	}
+	params := cfg.paramsFor(stage)
+	if cfg.Checkpoint != nil {
+		params.Resume = cfg.Checkpoint.ResumeStage(stage)
+		params.CheckpointEvery = cfg.CheckpointEvery
+		if params.CheckpointEvery <= 0 {
+			params.CheckpointEvery = DefaultCheckpointEvery
+		}
+		ck := cfg.Checkpoint
+		params.OnCheckpoint = func(cp *moea.Checkpoint) { ck.SaveStage(stage, cp) }
+	}
 	var res *moea.Result
 	var err error
 	switch cfg.Engine {
 	case NSGA2:
-		res, err = moea.Run(p, cfg.paramsFor(stage), seeds)
+		res, err = moea.Run(p, params, seeds)
 	case MOEAD:
-		res, err = moea.RunMOEAD(p, cfg.paramsFor(stage), seeds)
+		res, err = moea.RunMOEAD(p, params, seeds)
 	default:
 		return nil, fmt.Errorf("core: unknown engine %d", int(cfg.Engine))
 	}
@@ -152,6 +181,9 @@ func runProblem(p moea.Problem, decode func(*moea.Genome) *schedule.Result, cfg 
 			QoS:        decode(s.Genome),
 			Genome:     s.Genome,
 		})
+	}
+	if cfg.Checkpoint != nil {
+		cfg.Checkpoint.SaveFront(stage, SnapshotFront(front))
 	}
 	return front, nil
 }

@@ -69,6 +69,14 @@ type Options struct {
 	HedgeAfter time.Duration
 	// WaitSlice is the long-poll window per /wait request (default 2s).
 	WaitSlice time.Duration
+	// WaitRetries is how many consecutive transient wait failures (worker
+	// dead or answering 5xx) a dispatched cell rides out in place — one
+	// WaitSlice of delay each — before the cell is abandoned and
+	// re-dispatched (default 15, i.e. 30s of outage at the default slice;
+	// negative disables in-place retries). Durable workers resume their
+	// jobs after a restart, so waiting preserves mid-evolution progress
+	// that a re-dispatch would throw away.
+	WaitRetries int
 	// HealthEvery is the health-probe period (default 2s, negative
 	// disables the probe loop).
 	HealthEvery time.Duration
@@ -98,6 +106,11 @@ func (o Options) withDefaults(workers int) Options {
 	}
 	if o.WaitSlice <= 0 {
 		o.WaitSlice = 2 * time.Second
+	}
+	if o.WaitRetries == 0 {
+		o.WaitRetries = 15
+	} else if o.WaitRetries < 0 {
+		o.WaitRetries = 0
 	}
 	if o.HealthEvery == 0 {
 		o.HealthEvery = 2 * time.Second
@@ -303,7 +316,7 @@ func (c *Coordinator) tryRemote(ctx context.Context, spec *service.JobSpec) (*se
 		w.inflight.Add(1)
 		go func() {
 			defer w.inflight.Add(-1)
-			fw, err := w.runJob(attemptCtx, spec, c.opts.WaitSlice)
+			fw, err := w.runJob(attemptCtx, spec, c.opts.WaitSlice, c.opts.WaitRetries)
 			results <- outcome{fw, err}
 		}()
 	}

@@ -21,17 +21,25 @@ import (
 type flakyWorker struct {
 	srv *httptest.Server
 
-	mu    sync.Mutex
-	inner *service.Server
-	delay time.Duration
+	mu      sync.Mutex
+	inner   *service.Server
+	factory func() *service.Server // builds the replacement on resurrect
+	delay   time.Duration
 
 	submits  atomic.Int64
 	onSubmit atomic.Pointer[func()] // fired once, after the next submit
 }
 
 func newFlakyWorker(t *testing.T) *flakyWorker {
+	return newFlakyWorkerWith(t, newService)
+}
+
+// newFlakyWorkerWith builds a flaky worker whose (re)incarnations come from
+// factory — a factory closing over a shared store yields a durable worker
+// that resumes its jobs after resurrection.
+func newFlakyWorkerWith(t *testing.T, factory func() *service.Server) *flakyWorker {
 	t.Helper()
-	f := &flakyWorker{inner: newService()}
+	f := &flakyWorker{inner: factory(), factory: factory}
 	f.srv = httptest.NewServer(f)
 	t.Cleanup(func() {
 		f.kill()
@@ -79,12 +87,13 @@ func (f *flakyWorker) kill() {
 	}
 }
 
-// resurrect brings a fresh, empty worker process up behind the same URL.
+// resurrect brings a fresh worker process up behind the same URL — empty,
+// unless the worker's factory recovers state from a durable store.
 func (f *flakyWorker) resurrect() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.inner == nil {
-		f.inner = newService()
+		f.inner = f.factory()
 	}
 }
 

@@ -21,6 +21,13 @@ import (
 // path, which reproduces the canonical error.
 var errPermanent = errors.New("dist: job failed deterministically")
 
+// errTransient wraps failures that say nothing about the job itself — the
+// transport broke or the worker answered 5xx (dead, restarting, or behind a
+// recovering proxy). A durable worker resumes its jobs after a restart, so
+// the right reaction to a transient wait failure is to keep waiting on the
+// same job ID, not to re-dispatch the work.
+var errTransient = errors.New("dist: transient worker failure")
+
 // worker is the coordinator's view of one remote clrearlyd instance.
 type worker struct {
 	url    string // normalized base URL without trailing slash
@@ -92,7 +99,7 @@ func (w *worker) doJSON(ctx context.Context, method, path string, body []byte, o
 		if ctx.Err() == nil {
 			w.healthy.Store(false)
 		}
-		return 0, err
+		return 0, fmt.Errorf("%w: %v", errTransient, err)
 	}
 	defer resp.Body.Close()
 	blob, err := io.ReadAll(resp.Body)
@@ -100,11 +107,11 @@ func (w *worker) doJSON(ctx context.Context, method, path string, body []byte, o
 		if ctx.Err() == nil {
 			w.healthy.Store(false)
 		}
-		return resp.StatusCode, err
+		return resp.StatusCode, fmt.Errorf("%w: %v", errTransient, err)
 	}
 	if resp.StatusCode >= 500 {
-		return resp.StatusCode, fmt.Errorf("dist: %s %s: %s: %s",
-			method, path, resp.Status, strings.TrimSpace(string(blob)))
+		return resp.StatusCode, fmt.Errorf("%w: %s %s: %s: %s",
+			errTransient, method, path, resp.Status, strings.TrimSpace(string(blob)))
 	}
 	if out != nil && resp.StatusCode < 300 {
 		if err := json.Unmarshal(blob, out); err != nil {
@@ -152,6 +159,9 @@ func (w *worker) get(ctx context.Context, id string) (*service.JobWire, error) {
 }
 
 // wait long-polls a job for up to slice, returning its status afterwards.
+// Transport failures and 5xx answers come back wrapped in errTransient; a
+// 404 (the worker no longer knows the job — restarted without a durable
+// store) is permanent for this attempt and forces a re-dispatch.
 func (w *worker) wait(ctx context.Context, id string, slice time.Duration) (*service.JobWire, error) {
 	var jw service.JobWire
 	path := fmt.Sprintf("/v1/jobs/%s/wait?timeout=%s", id, slice)
@@ -176,7 +186,12 @@ func (w *worker) cancel(id string) {
 // runJob drives one cell on this worker: submit, await a terminal state,
 // return the front. Failed jobs map to errPermanent; cancelled jobs (e.g.
 // the worker restarted mid-run) and transport errors are retryable.
-func (w *worker) runJob(ctx context.Context, spec *service.JobSpec, slice time.Duration) (*service.FrontWire, error) {
+//
+// A transient wait failure (worker dead or restarting) does not abandon
+// the job: a durable worker re-enqueues and resumes it on restart under
+// the same ID, so runJob keeps long-polling in place for up to waitRetries
+// slices before giving the cell back to the coordinator for re-dispatch.
+func (w *worker) runJob(ctx context.Context, spec *service.JobSpec, slice time.Duration, waitRetries int) (*service.FrontWire, error) {
 	w.submitted.Add(1)
 	start := time.Now()
 	jw, err := w.submit(ctx, spec)
@@ -184,6 +199,7 @@ func (w *worker) runJob(ctx context.Context, spec *service.JobSpec, slice time.D
 		w.failed.Add(1)
 		return nil, err
 	}
+	retries := 0
 	for {
 		switch jw.State {
 		case service.StateDone:
@@ -206,16 +222,48 @@ func (w *worker) runJob(ctx context.Context, spec *service.JobSpec, slice time.D
 			w.failed.Add(1)
 			return nil, fmt.Errorf("%w: worker %s: %s", errPermanent, w.url, jw.Error)
 		case service.StateCancelled:
-			w.failed.Add(1)
-			return nil, fmt.Errorf("dist: worker %s: job %s cancelled remotely", w.url, jw.ID)
-		default: // queued or running
-			next, err := w.wait(ctx, jw.ID, slice)
-			if err != nil {
+			// The coordinator never cancelled this job, so an observed
+			// cancel almost always means the worker aborted it while going
+			// down: the dying process reports its jobs cancelled for a
+			// moment before the port stops answering, and a durable worker
+			// re-enqueues and resumes them under the same ID once it is
+			// back. Ride the state out like a transport outage; only a
+			// genuine external cancel keeps answering cancelled until the
+			// retry budget runs dry.
+			if retries >= waitRetries || ctx.Err() != nil {
 				w.failed.Add(1)
-				w.cancel(jw.ID)
-				return nil, err
+				return nil, fmt.Errorf("dist: worker %s: job %s cancelled remotely", w.url, jw.ID)
 			}
-			jw = next
+			retries++
+			select {
+			case <-time.After(slice):
+			case <-ctx.Done():
+				w.failed.Add(1)
+				return nil, ctx.Err()
+			}
 		}
+		// Queued, running, or riding out a restart: long-poll for the next
+		// state transition.
+		next, err := w.wait(ctx, jw.ID, slice)
+		if err != nil {
+			if errors.Is(err, errTransient) && retries < waitRetries && ctx.Err() == nil {
+				// Ride out the outage: wait one slice (the long-poll
+				// window this request would have spent) and poll the
+				// same job again.
+				retries++
+				select {
+				case <-time.After(slice):
+					continue
+				case <-ctx.Done():
+				}
+			}
+			w.failed.Add(1)
+			w.cancel(jw.ID)
+			return nil, err
+		}
+		if next.State != service.StateCancelled {
+			retries = 0
+		}
+		jw = next
 	}
 }

@@ -50,6 +50,23 @@ type Params struct {
 	// to stream generation-by-generation updates. It must be fast: the GA
 	// blocks on it.
 	OnGeneration func(GenerationInfo)
+	// OnCheckpoint, when non-nil with CheckpointEvery > 0, receives a
+	// resumable snapshot after every CheckpointEvery completed generations,
+	// and a final snapshot when the run is cancelled via Ctx (so an
+	// interrupted run loses at most the generation in flight). The engine
+	// blocks on the callback; snapshots are deep copies and may be retained.
+	OnCheckpoint func(*Checkpoint)
+	// CheckpointEvery is the generation period of OnCheckpoint snapshots;
+	// ≤ 0 disables periodic snapshots (the cancellation snapshot still
+	// fires when OnCheckpoint is set).
+	CheckpointEvery int
+	// Resume, when non-nil, restores a run from a checkpoint instead of
+	// initializing a fresh population: the population, archive, evaluation
+	// count and RNG position are restored, seeds are ignored, and the run
+	// continues at Resume.Generation. Because every later decision depends
+	// only on the restored state and the seeded RNG stream, the resumed
+	// run's final front is byte-identical to the uninterrupted run's.
+	Resume *Checkpoint
 }
 
 // GenerationInfo is a per-generation progress report delivered through
@@ -156,57 +173,85 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		return nil, err
 	}
 	n := p.NumTasks()
-	rng := rand.New(rand.NewSource(params.Seed))
+	src := newCountingSource(params.Seed)
+	rng := rand.New(src)
 
-	// Initial population: seeds first (truncated to PopSize), then random.
-	pop := make([]*solution, 0, params.PopSize)
-	for _, s := range seeds {
-		if len(pop) >= params.PopSize {
-			break
-		}
-		if err := s.Validate(); err != nil {
-			return nil, fmt.Errorf("moea: invalid seed: %w", err)
-		}
-		if len(s.Genes) != n {
-			return nil, fmt.Errorf("moea: seed has %d genes, want %d", len(s.Genes), n)
-		}
-		pop = append(pop, &solution{genome: s.Clone()})
-	}
-	for len(pop) < params.PopSize {
-		pop = append(pop, &solution{genome: RandomGenome(rng, p)})
-	}
 	if params.FixedOrder != nil {
 		if len(params.FixedOrder) != n {
 			return nil, fmt.Errorf("moea: fixed order has %d entries, want %d", len(params.FixedOrder), n)
 		}
 		params.DisableOrderCrossover = true
 		params.DisableOrderMutation = true
-		for _, s := range pop {
-			s.genome.Order = append([]int(nil), params.FixedOrder...)
-		}
-		if err := pop[0].genome.Validate(); err != nil {
-			return nil, fmt.Errorf("moea: invalid fixed order: %w", err)
-		}
 	}
-
-	if err := params.cancelled(); err != nil {
-		return nil, err
-	}
-	res := &Result{}
-	evaluate(p, pop, params.Workers)
-	res.Evaluations += len(pop)
 
 	archiveCap := params.ArchiveCap
 	if archiveCap <= 0 {
 		archiveCap = 256
 	}
-	var archive []*solution
-	archive = updateArchive(archive, pop, archiveCap)
+	res := &Result{}
+	var pop, archive []*solution
+	startGen := 0
+	if params.Resume != nil {
+		// Restore the checkpointed state instead of initializing: the
+		// population and archive carry bit-exact fitness values, and the RNG
+		// fast-forwards past the draws the interrupted run consumed.
+		cp := params.Resume
+		if err := validateResume(cp, params); err != nil {
+			return nil, err
+		}
+		var err error
+		if pop, err = restoreSolutions(cp.Population, n, p.NumObjectives()); err != nil {
+			return nil, err
+		}
+		if archive, err = restoreSolutions(cp.Archive, n, p.NumObjectives()); err != nil {
+			return nil, err
+		}
+		src.FastForward(cp.Draws)
+		res.Evaluations = cp.Evaluations
+		startGen = cp.Generation
+		rankAndCrowd(pop)
+		params.emit(startGen, res.Evaluations, len(archive))
+	} else {
+		// Initial population: seeds first (truncated to PopSize), then random.
+		pop = make([]*solution, 0, params.PopSize)
+		for _, s := range seeds {
+			if len(pop) >= params.PopSize {
+				break
+			}
+			if err := s.Validate(); err != nil {
+				return nil, fmt.Errorf("moea: invalid seed: %w", err)
+			}
+			if len(s.Genes) != n {
+				return nil, fmt.Errorf("moea: seed has %d genes, want %d", len(s.Genes), n)
+			}
+			pop = append(pop, &solution{genome: s.Clone()})
+		}
+		for len(pop) < params.PopSize {
+			pop = append(pop, &solution{genome: RandomGenome(rng, p)})
+		}
+		if params.FixedOrder != nil {
+			for _, s := range pop {
+				s.genome.Order = append([]int(nil), params.FixedOrder...)
+			}
+			if err := pop[0].genome.Validate(); err != nil {
+				return nil, fmt.Errorf("moea: invalid fixed order: %w", err)
+			}
+		}
 
-	rankAndCrowd(pop)
-	params.emit(0, res.Evaluations, len(archive))
-	for gen := 0; gen < params.Generations; gen++ {
 		if err := params.cancelled(); err != nil {
+			return nil, err
+		}
+		evaluate(p, pop, params.Workers)
+		res.Evaluations += len(pop)
+		archive = updateArchive(archive, pop, archiveCap)
+		rankAndCrowd(pop)
+		params.emit(0, res.Evaluations, len(archive))
+	}
+	for gen := startGen; gen < params.Generations; gen++ {
+		if err := params.cancelled(); err != nil {
+			// The population is at the gen-generation boundary; snapshot it
+			// so the interrupted run resumes here instead of restarting.
+			params.checkpointOnCancel(snapshotRun(gen, res.Evaluations, src.Draws(), pop, archive))
 			return nil, err
 		}
 		// Variation: tournaments pick parents; the paper's two crossovers
@@ -257,6 +302,9 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		pop = next
 		rankAndCrowd(pop)
 		params.emit(gen+1, res.Evaluations, len(archive))
+		if params.checkpointDue(gen + 1) {
+			params.OnCheckpoint(snapshotRun(gen+1, res.Evaluations, src.Draws(), pop, archive))
+		}
 	}
 
 	for _, s := range archive {

@@ -28,38 +28,12 @@ func RunMOEAD(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		return nil, fmt.Errorf("moea: MOEA/D needs ≥ 2 objectives, problem has %d", m)
 	}
 	n := p.NumTasks()
-	rng := rand.New(rand.NewSource(params.Seed))
+	src := newCountingSource(params.Seed)
+	rng := rand.New(src)
 
 	weights := weightVectors(params.PopSize, m)
-	pop := make([]*solution, len(weights))
-	for i := range pop {
-		if i < len(seeds) {
-			if err := seeds[i].Validate(); err != nil {
-				return nil, fmt.Errorf("moea: invalid seed: %w", err)
-			}
-			if len(seeds[i].Genes) != n {
-				return nil, fmt.Errorf("moea: seed has %d genes, want %d", len(seeds[i].Genes), n)
-			}
-			pop[i] = &solution{genome: seeds[i].Clone()}
-		} else {
-			pop[i] = &solution{genome: RandomGenome(rng, p)}
-		}
-	}
-	if params.FixedOrder != nil {
-		if len(params.FixedOrder) != n {
-			return nil, fmt.Errorf("moea: fixed order has %d entries, want %d", len(params.FixedOrder), n)
-		}
-		for _, s := range pop {
-			s.genome.Order = append([]int(nil), params.FixedOrder...)
-		}
-	}
-	if err := params.cancelled(); err != nil {
-		return nil, err
-	}
-	evaluate(p, pop, params.Workers)
-	res := &Result{Evaluations: len(pop)}
 
-	// Ideal point z* (component-wise minimum over feasible evaluations).
+	// Ideal point z* (component-wise minimum over every evaluation so far).
 	ideal := make([]float64, m)
 	for j := range ideal {
 		ideal[j] = math.Inf(1)
@@ -71,21 +45,86 @@ func RunMOEAD(p Problem, params Params, seeds []*Genome) (*Result, error) {
 			}
 		}
 	}
-	for _, s := range pop {
-		updateIdeal(s.eval)
-	}
 
-	ev := newEvaluator(p)
-	neighbors := neighborhoods(weights, defaultNeighbors(params))
 	archiveCap := params.ArchiveCap
 	if archiveCap <= 0 {
 		archiveCap = 256
 	}
-	archive := updateArchive(nil, pop, archiveCap)
-	params.emit(0, res.Evaluations, len(archive))
-
-	for gen := 0; gen < params.Generations; gen++ {
+	res := &Result{}
+	var pop, archive []*solution
+	startGen := 0
+	if params.Resume != nil {
+		cp := params.Resume
+		if err := validateResume(cp, params); err != nil {
+			return nil, err
+		}
+		if len(cp.Ideal) != m {
+			return nil, fmt.Errorf("moea: checkpoint ideal point has %d components, problem has %d",
+				len(cp.Ideal), m)
+		}
+		var err error
+		if pop, err = restoreSolutions(cp.Population, n, m); err != nil {
+			return nil, err
+		}
+		if archive, err = restoreSolutions(cp.Archive, n, m); err != nil {
+			return nil, err
+		}
+		for j, b := range cp.Ideal {
+			ideal[j] = math.Float64frombits(b)
+		}
+		src.FastForward(cp.Draws)
+		res.Evaluations = cp.Evaluations
+		startGen = cp.Generation
+		params.emit(startGen, res.Evaluations, len(archive))
+	} else {
+		pop = make([]*solution, len(weights))
+		for i := range pop {
+			if i < len(seeds) {
+				if err := seeds[i].Validate(); err != nil {
+					return nil, fmt.Errorf("moea: invalid seed: %w", err)
+				}
+				if len(seeds[i].Genes) != n {
+					return nil, fmt.Errorf("moea: seed has %d genes, want %d", len(seeds[i].Genes), n)
+				}
+				pop[i] = &solution{genome: seeds[i].Clone()}
+			} else {
+				pop[i] = &solution{genome: RandomGenome(rng, p)}
+			}
+		}
+		if params.FixedOrder != nil {
+			if len(params.FixedOrder) != n {
+				return nil, fmt.Errorf("moea: fixed order has %d entries, want %d", len(params.FixedOrder), n)
+			}
+			for _, s := range pop {
+				s.genome.Order = append([]int(nil), params.FixedOrder...)
+			}
+		}
 		if err := params.cancelled(); err != nil {
+			return nil, err
+		}
+		evaluate(p, pop, params.Workers)
+		res.Evaluations = len(pop)
+		for _, s := range pop {
+			updateIdeal(s.eval)
+		}
+		archive = updateArchive(nil, pop, archiveCap)
+		params.emit(0, res.Evaluations, len(archive))
+	}
+
+	ev := newEvaluator(p)
+	neighbors := neighborhoods(weights, defaultNeighbors(params))
+	snapshotMOEAD := func(gen int) *Checkpoint {
+		cp := snapshotRun(gen, res.Evaluations, src.Draws(), pop, archive)
+		cp.Ideal = make([]uint64, m)
+		for j, v := range ideal {
+			cp.Ideal[j] = math.Float64bits(v)
+		}
+		return cp
+	}
+
+	for gen := startGen; gen < params.Generations; gen++ {
+		if err := params.cancelled(); err != nil {
+			params.checkpointOnCancel(snapshotMOEAD(gen))
 			return nil, err
 		}
 		for i := range pop {
@@ -120,6 +159,9 @@ func RunMOEAD(p Problem, params Params, seeds []*Genome) (*Result, error) {
 			}
 		}
 		params.emit(gen+1, res.Evaluations, len(archive))
+		if params.checkpointDue(gen + 1) {
+			params.OnCheckpoint(snapshotMOEAD(gen + 1))
+		}
 	}
 
 	for _, s := range archive {

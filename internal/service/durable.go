@@ -1,0 +1,161 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/moea"
+	"repro/internal/store"
+)
+
+// runCheckpoint is the durable form of one job's strategy progress: the
+// engine snapshot of the stage in flight plus the fronts of stages already
+// completed, keyed by stage name. It is stored as a single opaque blob
+// under the job's spec hash, so two jobs with the same canonical spec
+// share (and resume) the same checkpoint.
+type runCheckpoint struct {
+	Stages map[string]*moea.Checkpoint    `json:"stages,omitempty"`
+	Fronts map[string]*core.FrontSnapshot `json:"fronts,omitempty"`
+}
+
+// jobCheckpointer adapts the store to core.Checkpointer for one running
+// job. Every save rewrites the job's whole runCheckpoint blob — checkpoints
+// are periodic and coarse, so simplicity beats incremental encoding. Saves
+// are best-effort: a store error degrades durability, never the run.
+// Safe for concurrent use (the Agnostic strategy saves from parallel
+// layer goroutines).
+type jobCheckpointer struct {
+	mu   sync.Mutex
+	st   *store.Store
+	hash string
+	cp   runCheckpoint
+}
+
+// newJobCheckpointer loads any checkpoint a previous incarnation left for
+// the spec hash; the returned checkpointer then resumes completed stages
+// and the interrupted one through the core.Checkpointer contract.
+func newJobCheckpointer(st *store.Store, hash string) *jobCheckpointer {
+	jc := &jobCheckpointer{st: st, hash: hash}
+	if blob, ok := st.Checkpoint(hash); ok {
+		if err := json.Unmarshal(blob, &jc.cp); err != nil {
+			// An undecodable checkpoint (e.g. written by an older build)
+			// only costs a restart from generation zero.
+			jc.cp = runCheckpoint{}
+		}
+	}
+	if jc.cp.Stages == nil {
+		jc.cp.Stages = make(map[string]*moea.Checkpoint)
+	}
+	if jc.cp.Fronts == nil {
+		jc.cp.Fronts = make(map[string]*core.FrontSnapshot)
+	}
+	return jc
+}
+
+func (jc *jobCheckpointer) SaveStage(stage string, cp *moea.Checkpoint) {
+	jc.mu.Lock()
+	defer jc.mu.Unlock()
+	jc.cp.Stages[stage] = cp
+	jc.persistLocked()
+}
+
+func (jc *jobCheckpointer) SaveFront(stage string, fs *core.FrontSnapshot) {
+	jc.mu.Lock()
+	defer jc.mu.Unlock()
+	jc.cp.Fronts[stage] = fs
+	delete(jc.cp.Stages, stage) // the front supersedes the mid-stage snapshot
+	jc.persistLocked()
+}
+
+func (jc *jobCheckpointer) ResumeStage(stage string) *moea.Checkpoint {
+	jc.mu.Lock()
+	defer jc.mu.Unlock()
+	return jc.cp.Stages[stage]
+}
+
+func (jc *jobCheckpointer) ResumeFront(stage string) *core.FrontSnapshot {
+	jc.mu.Lock()
+	defer jc.mu.Unlock()
+	return jc.cp.Fronts[stage]
+}
+
+func (jc *jobCheckpointer) persistLocked() {
+	blob, err := json.Marshal(&jc.cp)
+	if err != nil {
+		return
+	}
+	_ = jc.st.SaveCheckpoint(jc.hash, blob)
+}
+
+// recover rebuilds the server's state from the store before it begins
+// serving: terminal jobs reappear with their recorded states, done fronts
+// repopulate the result cache, and jobs that were accepted but never
+// finished come back as the queued backlog (returned in acceptance order
+// for re-enqueueing). Called from New before the workers start, so no
+// locking is needed.
+func (s *Server) recover(st *store.Store) []*job {
+	for _, r := range st.Results() {
+		var fw FrontWire
+		if err := json.Unmarshal(r.Payload, &fw); err == nil {
+			s.cache.Add(r.Hash, &fw)
+		}
+	}
+	var pending []*job
+	for _, jr := range st.Jobs() {
+		var spec JobSpec
+		if err := json.Unmarshal(jr.Spec, &spec); err != nil {
+			continue // journaled by a newer build; unusable but harmless
+		}
+		j := &job{
+			id:        jr.ID,
+			spec:      spec,
+			hash:      jr.Hash,
+			subs:      make(map[chan ProgressWire]struct{}),
+			done:      make(chan struct{}),
+			submitted: jr.Submitted,
+		}
+		var n int64
+		if _, err := fmt.Sscanf(jr.ID, "j%d", &n); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+		if jr.Pending() {
+			j.state = StateQueued
+			pending = append(pending, j)
+		} else {
+			j.state = jr.State
+			j.cached = jr.Cached
+			j.errMsg = jr.Error
+			j.finished = jr.Finished
+			if jr.State == StateDone {
+				if fw, ok := s.cache.Get(jr.Hash); ok {
+					j.front = fw
+				}
+			}
+			close(j.done)
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	}
+	return pending
+}
+
+// persistFinish journals a job's terminal state (and, for done jobs, the
+// result payload that warms the persistent cache) and drops the run
+// checkpoint that is now obsolete. Called without j.mu held.
+func (s *Server) persistFinish(j *job) {
+	st := s.cfg.Store
+	if st == nil {
+		return
+	}
+	j.mu.Lock()
+	state, errMsg, cached, front, finished := j.state, j.errMsg, j.cached, j.front, j.finished
+	j.mu.Unlock()
+	var payload json.RawMessage
+	if state == StateDone && front != nil && !cached {
+		payload, _ = json.Marshal(front)
+	}
+	_ = st.FinishJob(j.id, state, j.hash, errMsg, cached, payload, finished)
+	_ = st.ClearCheckpoint(j.hash)
+}

@@ -73,6 +73,7 @@ type Metrics struct {
 	mu        sync.Mutex
 	submitted int64
 	rejected  int64
+	deduped   int64
 	cacheHits int64
 	cacheMiss int64
 	latency   map[string]*histogram // by method
@@ -84,6 +85,7 @@ func newMetrics() *Metrics {
 
 func (m *Metrics) incSubmitted() { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
 func (m *Metrics) incRejected()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *Metrics) incDeduped()   { m.mu.Lock(); m.deduped++; m.mu.Unlock() }
 func (m *Metrics) incCacheHit()  { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
 func (m *Metrics) incCacheMiss() { m.mu.Lock(); m.cacheMiss++; m.mu.Unlock() }
 
@@ -105,6 +107,23 @@ type MetricsWire struct {
 	Cache   CacheWire                `json:"cache"`
 	Fitness FitnessWire              `json:"fitness_cache"`
 	Latency map[string]HistogramWire `json:"latency_ms"`
+	// Store gauges are present when the service runs with a durable store.
+	Store *StoreWire `json:"store,omitempty"`
+}
+
+// StoreWire reports the durable store's gauges: WAL size and I/O counters,
+// compactions, torn bytes dropped at recovery, and retained record counts.
+// The field set mirrors store.Stats.
+type StoreWire struct {
+	WALBytes    int64 `json:"wal_bytes"`
+	Appends     int64 `json:"appends"`
+	Syncs       int64 `json:"syncs"`
+	Compactions int64 `json:"compactions"`
+	TornBytes   int64 `json:"torn_bytes_truncated"`
+	PendingJobs int   `json:"pending_jobs"`
+	Jobs        int   `json:"jobs"`
+	Results     int   `json:"results"`
+	Checkpoints int   `json:"checkpoints"`
 }
 
 // JobCountsWire counts jobs by lifecycle state plus the submission and
@@ -112,6 +131,8 @@ type MetricsWire struct {
 type JobCountsWire struct {
 	Submitted int64 `json:"submitted"`
 	Rejected  int64 `json:"rejected"`
+	// Deduped counts submissions attached to an identical in-flight job.
+	Deduped   int64 `json:"deduped"`
 	Queued    int64 `json:"queued"`
 	Running   int64 `json:"running"`
 	Done      int64 `json:"done"`
@@ -149,7 +170,7 @@ func (m *Metrics) snapshot() MetricsWire {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := MetricsWire{
-		Jobs:    JobCountsWire{Submitted: m.submitted, Rejected: m.rejected},
+		Jobs:    JobCountsWire{Submitted: m.submitted, Rejected: m.rejected, Deduped: m.deduped},
 		Cache:   CacheWire{Hits: m.cacheHits, Misses: m.cacheMiss},
 		Latency: make(map[string]HistogramWire, len(m.latency)),
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/store"
 )
 
 // Config sizes the job service.
@@ -25,6 +26,16 @@ type Config struct {
 	Workers int
 	// CacheCap bounds the LRU result cache (default 128 fronts).
 	CacheCap int
+	// Store, when non-nil, makes the service durable: accepted specs and
+	// terminal results are journaled, GA runs checkpoint every
+	// CheckpointEvery generations, and New replays the store — cached
+	// fronts are rehydrated, finished jobs reappear, and jobs that never
+	// reached a terminal state are re-enqueued (resuming mid-evolution
+	// from their checkpoints).
+	Store *store.Store
+	// CheckpointEvery is the generation period of durable GA snapshots
+	// (default core.DefaultCheckpointEvery; meaningful only with Store).
+	CheckpointEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -119,12 +130,21 @@ func New(cfg Config) *Server {
 	ctx, abort := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
-		queue:   make(chan *job, cfg.QueueCap),
 		baseCtx: ctx,
 		abort:   abort,
 		metrics: newMetrics(),
 		jobs:    make(map[string]*job),
 		cache:   newLRUCache(cfg.CacheCap),
+	}
+	// Recovery pass: replay the store before serving, and size the queue so
+	// the whole recovered backlog fits alongside a full queue of new work.
+	var pending []*job
+	if cfg.Store != nil {
+		pending = s.recover(cfg.Store)
+	}
+	s.queue = make(chan *job, cfg.QueueCap+len(pending))
+	for _, j := range pending {
+		s.queue <- j
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -203,15 +223,35 @@ func (s *Server) runJob(j *job) {
 	defer cancel()
 
 	total := j.spec.TotalGenerations()
-	front, err := Execute(ctx, &j.spec, func(e core.ProgressEvent) {
-		s.publishProgress(j, e, total)
-	})
+	hooks := RunHooks{
+		Progress: func(e core.ProgressEvent) {
+			s.publishProgress(j, e, total)
+		},
+		CheckpointEvery: s.cfg.CheckpointEvery,
+	}
+	if s.cfg.Store != nil {
+		// The checkpointer also carries any snapshot a previous daemon
+		// incarnation saved for this spec, so a re-enqueued job resumes
+		// mid-evolution instead of restarting.
+		hooks.Checkpoint = newJobCheckpointer(s.cfg.Store, j.hash)
+	}
+	inst, flib, err := Build(&j.spec)
+	var front *core.Front
+	if err == nil {
+		front, err = ExecuteOnHooks(ctx, inst, flib, &j.spec, hooks)
+	}
 
 	j.mu.Lock()
 	j.cancel = nil
+	aborted := false
 	switch {
 	case ctx.Err() != nil:
 		s.finishLocked(j, StateCancelled, "cancelled")
+		// A forced-shutdown abort is not a client decision: the job keeps
+		// its pending store record (plus the final cancellation checkpoint
+		// the GA just wrote), so the next incarnation re-enqueues and
+		// resumes it. A client DELETE is terminal and is journaled.
+		aborted = s.baseCtx.Err() != nil
 	case err != nil:
 		s.finishLocked(j, StateFailed, err.Error())
 	default:
@@ -224,6 +264,9 @@ func (s *Server) runJob(j *job) {
 		s.mu.Lock()
 		s.cache.Add(j.hash, j.front)
 		s.mu.Unlock()
+	}
+	if !aborted {
+		s.persistFinish(j)
 	}
 	s.metrics.observeLatency(j.spec.Method, time.Since(j.started))
 }
@@ -289,6 +332,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.incSubmitted()
+	// In-flight dedupe: a spec identical to one already queued or running
+	// is the same deterministic computation, so the second client attaches
+	// to the first job instead of doubling the work. (Finished duplicates
+	// are handled below by the result cache.)
+	for i := len(s.order) - 1; i >= 0; i-- {
+		dup := s.jobs[s.order[i]]
+		if dup.hash != hash {
+			continue
+		}
+		dup.mu.Lock()
+		active := dup.state == StateQueued || dup.state == StateRunning
+		dup.mu.Unlock()
+		if active {
+			s.metrics.incDeduped()
+			s.mu.Unlock()
+			writeJSON(w, http.StatusAccepted, dup.wire(false))
+			return
+		}
+	}
 	s.nextID++
 	j := &job{
 		id:        fmt.Sprintf("j%06d", s.nextID),
@@ -310,14 +372,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
 		s.mu.Unlock()
+		if st := s.cfg.Store; st != nil {
+			// Best-effort: the front itself is already durable under this
+			// hash; journaling the job record just keeps GET /v1/jobs/{id}
+			// answering across a restart.
+			if spec, err := json.Marshal(&j.spec); err == nil {
+				_ = st.AcceptJob(j.id, hash, spec, j.submitted)
+				_ = st.FinishJob(j.id, StateDone, hash, "", true, nil, j.finished)
+			}
+		}
 		writeJSON(w, http.StatusOK, j.wire(true))
 		return
 	}
 	s.metrics.incCacheMiss()
 	j.state = StateQueued
+	// Holding j.mu across enqueue + journaling keeps a fast worker from
+	// finishing the job before its accept record is durable (runJob's first
+	// act is taking j.mu).
+	j.mu.Lock()
 	select {
 	case s.queue <- j:
 	default:
+		j.mu.Unlock()
 		s.nextID--
 		s.metrics.incRejected()
 		s.mu.Unlock()
@@ -328,6 +404,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
+	if st := s.cfg.Store; st != nil {
+		// Journal the accepted spec before acknowledging: once the client
+		// sees 202, the job survives a crash. A store failure fails the
+		// job up front rather than acknowledging work that could vanish.
+		spec, err := json.Marshal(&j.spec)
+		if err == nil {
+			err = st.AcceptJob(j.id, hash, spec, j.submitted)
+		}
+		if err != nil {
+			s.finishLocked(j, StateFailed, "journaling job: "+err.Error())
+			j.mu.Unlock()
+			httpError(w, http.StatusInternalServerError, "journaling job: "+err.Error())
+			return
+		}
+	}
+	j.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, j.wire(false))
 }
 
@@ -398,16 +490,24 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.mu.Lock()
+	wasQueued := false
 	switch j.state {
 	case StateQueued:
 		// The job stays in the queue channel; the worker skips it.
 		s.finishLocked(j, StateCancelled, "cancelled")
+		wasQueued = true
 	case StateRunning:
 		// The GA polls the context between generations, so the run stops
 		// within one generation; the worker then marks the job cancelled.
 		j.cancel()
 	}
 	j.mu.Unlock()
+	if wasQueued {
+		// A client cancellation is a terminal decision: journal it (and
+		// drop any checkpoint) so a restart does not resurrect the job.
+		// Running jobs are journaled by the worker once the GA unwinds.
+		s.persistFinish(j)
+	}
 	writeJSON(w, http.StatusAccepted, j.wire(false))
 }
 
@@ -492,6 +592,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Bypasses:  ft.Bypasses,
 		Evictions: ft.Evictions,
 		HitRate:   ft.HitRate(),
+	}
+	if st := s.cfg.Store; st != nil {
+		sw := StoreWire(st.Stats())
+		m.Store = &sw
 	}
 	s.mu.Lock()
 	m.Cache.Size = s.cache.Len()

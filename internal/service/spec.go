@@ -326,18 +326,35 @@ func Build(s *JobSpec) (*core.Instance, *tdse.Library, error) {
 	return inst, flib, nil
 }
 
+// RunHooks bundles the optional observation and durability hooks of a run:
+// a per-generation progress callback, and a checkpointer (with its snapshot
+// period) that makes the run resumable. All fields may be zero.
+type RunHooks struct {
+	Progress        func(core.ProgressEvent)
+	Checkpoint      core.Checkpointer
+	CheckpointEvery int
+}
+
 // ExecuteOn runs the spec's method on an already-built instance. ctx
 // cancels the run between GA generations; progress (optional) receives
 // generation-by-generation events and may be invoked concurrently for
 // methods with parallel stages.
 func ExecuteOn(ctx context.Context, inst *core.Instance, flib *tdse.Library, s *JobSpec, progress func(core.ProgressEvent)) (*core.Front, error) {
+	return ExecuteOnHooks(ctx, inst, flib, s, RunHooks{Progress: progress})
+}
+
+// ExecuteOnHooks is ExecuteOn with the full hook set — the entry point the
+// durable job service uses to resume checkpointed runs.
+func ExecuteOnHooks(ctx context.Context, inst *core.Instance, flib *tdse.Library, s *JobSpec, hooks RunHooks) (*core.Front, error) {
 	cfg := core.RunConfig{
-		Pop:      s.Pop,
-		Gens:     s.Gens,
-		Seed:     s.Seed,
-		Jobs:     s.Jobs,
-		Ctx:      ctx,
-		Progress: progress,
+		Pop:             s.Pop,
+		Gens:            s.Gens,
+		Seed:            s.Seed,
+		Jobs:            s.Jobs,
+		Ctx:             ctx,
+		Progress:        hooks.Progress,
+		Checkpoint:      hooks.Checkpoint,
+		CheckpointEvery: hooks.CheckpointEvery,
 	}
 	if s.Engine == "moead" {
 		cfg.Engine = core.MOEAD

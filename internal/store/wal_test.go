@@ -1,0 +1,205 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func frame(payload []byte) []byte {
+	return appendFrame(nil, payload)
+}
+
+func openCollect(t *testing.T, path string, opt WALOptions) (*WAL, [][]byte) {
+	t.Helper()
+	var got [][]byte
+	w, err := OpenWAL(path, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	}, opt)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	return w, got
+}
+
+func TestWALAppendReopenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _ := openCollect(t, path, WALOptions{})
+	records := [][]byte{[]byte("one"), []byte(`{"t":"accept"}`), {}, bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, r := range records {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	w2, got := openCollect(t, path, WALOptions{})
+	defer w2.Close()
+	if len(got) != len(records) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(records))
+	}
+	for i := range records {
+		if !bytes.Equal(got[i], records[i]) {
+			t.Fatalf("record %d: got %q want %q", i, got[i], records[i])
+		}
+	}
+}
+
+// TestWALTornTailRecovery corrupts the log tail in every way a crash can
+// and checks open truncates back to the last whole record.
+func TestWALTornTailRecovery(t *testing.T) {
+	rec1 := []byte("first record")
+	rec2 := []byte("second record")
+	base := append(frame(rec1), frame(rec2)...)
+
+	cases := []struct {
+		name string
+		data []byte
+		want int // records recovered
+	}{
+		{"clean", base, 2},
+		{"empty", nil, 0},
+		{"torn header", append(append([]byte(nil), base...), 0x01, 0x02, 0x03), 2},
+		{"torn payload", base[:len(base)-4], 1},
+		{"header only", base[:len(frame(rec1))+frameHeaderLen], 1},
+		{"flipped payload byte", flipByte(base, len(base)-1), 1},
+		{"flipped crc byte", flipByte(base, len(frame(rec1))+5), 1},
+		{"implausible length", overwriteLen(base, len(frame(rec1)), maxRecordLen+1), 1},
+		{"zero-garbage tail", append(append([]byte(nil), base...), make([]byte, 3)...), 2},
+		{"first record corrupt", flipByte(base, frameHeaderLen), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "wal")
+			if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			w, got := openCollect(t, path, WALOptions{})
+			if len(got) != tc.want {
+				t.Fatalf("recovered %d records, want %d", len(got), tc.want)
+			}
+			// The torn tail must be gone from disk so appends continue a
+			// valid log.
+			if err := w.Append([]byte("after recovery")); err != nil {
+				t.Fatalf("Append after recovery: %v", err)
+			}
+			w.Close()
+			w2, got2 := openCollect(t, path, WALOptions{})
+			defer w2.Close()
+			if len(got2) != tc.want+1 {
+				t.Fatalf("after append+reopen: %d records, want %d", len(got2), tc.want+1)
+			}
+			if string(got2[len(got2)-1]) != "after recovery" {
+				t.Fatalf("last record = %q", got2[len(got2)-1])
+			}
+		})
+	}
+}
+
+func flipByte(data []byte, i int) []byte {
+	out := append([]byte(nil), data...)
+	out[i] ^= 0xFF
+	return out
+}
+
+func overwriteLen(data []byte, frameOff int, n uint32) []byte {
+	out := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(out[frameOff:frameOff+4], n)
+	return out
+}
+
+func TestWALTruncatedCounter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	data := append(frame([]byte("ok")), []byte("torn-tail-garbage")...)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := openCollect(t, path, WALOptions{})
+	defer w.Close()
+	if w.truncated != int64(len("torn-tail-garbage")) {
+		t.Fatalf("truncated = %d, want %d", w.truncated, len("torn-tail-garbage"))
+	}
+}
+
+func TestWALRecordTooLarge(t *testing.T) {
+	w, _ := openCollect(t, filepath.Join(t.TempDir(), "wal"), WALOptions{})
+	defer w.Close()
+	if err := w.Append(make([]byte, maxRecordLen+1)); err == nil {
+		t.Fatal("oversized append succeeded")
+	}
+}
+
+func TestWALSyncIntervalFlushes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _ := openCollect(t, path, WALOptions{Sync: SyncInterval, Interval: 5 * time.Millisecond})
+	if err := w.Append([]byte("batched")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		w.mu.Lock()
+		dirty, syncs := w.dirty, w.syncs
+		w.mu.Unlock()
+		if !dirty && syncs > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background sync never flushed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"": SyncAlways, "always": SyncAlways,
+		"interval": SyncInterval, "batch": SyncInterval,
+		"never": SyncNever, "off": SyncNever,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if SyncInterval.String() != "interval" {
+		t.Fatalf("String() = %q", SyncInterval.String())
+	}
+}
+
+func TestWALResetEmptiesLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _ := openCollect(t, path, WALOptions{})
+	for i := 0; i < 5; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("rec%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 0 {
+		t.Fatalf("Size after Reset = %d", w.Size())
+	}
+	if err := w.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w2, got := openCollect(t, path, WALOptions{})
+	defer w2.Close()
+	if len(got) != 1 || string(got[0]) != "fresh" {
+		t.Fatalf("after reset+reopen: %q", got)
+	}
+}
