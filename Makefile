@@ -1,7 +1,7 @@
 GO ?= go
 PORT ?= 8080
 
-.PHONY: build test vet race fuzz-smoke validate-quick bench bench-sweep bench-snapshot quick full serve
+.PHONY: build test vet race fuzz-smoke validate-quick bench bench-sweep bench-snapshot bench-compare quick full serve
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,11 @@ vet:
 
 # Race-check the concurrency-bearing packages: the sweep executor, the
 # shared metrics cache in core, the GA evaluate workers in moea, the
-# job-queue service, the durable store, and the distributed sweep
-# coordinator.
+# job-queue service, the durable store, the distributed sweep coordinator,
+# and the batched chain-solve path (relmodel/markov/matrix) plus the HEFT
+# bound shared by the surrogate proxy.
 race:
-	$(GO) vet ./... && $(GO) test -race ./internal/sweep ./internal/core ./internal/moea ./internal/service ./internal/store ./internal/dist
+	$(GO) vet ./... && $(GO) test -race ./internal/sweep ./internal/core ./internal/moea ./internal/service ./internal/store ./internal/dist ./internal/heft ./internal/relmodel ./internal/markov ./internal/matrix
 
 # Short continuous-fuzzing pass over the input-parsing surfaces: the TGFF
 # text parser, the JobSpec normalizer and the WAL replayer. Each target
@@ -49,6 +50,19 @@ BENCH_BASELINE ?=
 bench-snapshot:
 	$(GO) test -run '^$$' -bench 'Sweep|Fig|Table' -benchmem -benchtime 1x . | \
 		$(GO) run ./cmd/benchsnap -o $(BENCH_SNAPSHOT) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))
+
+# Regression gate: run the sweep/figure/table benchmarks fresh and fail if
+# any shared benchmark regressed past the thresholds vs the last committed
+# snapshot (highest-numbered BENCH_*.json by default). Tune with
+# BENCH_TIME_PCT / BENCH_ALLOC_PCT — CI uses a looser time bound to absorb
+# shared-runner variance.
+BENCH_COMPARE_BASE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+BENCH_TIME_PCT ?= 10
+BENCH_ALLOC_PCT ?= 10
+bench-compare:
+	$(GO) test -run '^$$' -bench 'Sweep|Fig|Table' -benchmem -benchtime 1x . | \
+		$(GO) run ./cmd/benchsnap -compare -baseline $(BENCH_COMPARE_BASE) \
+			-max-time-pct $(BENCH_TIME_PCT) -max-alloc-pct $(BENCH_ALLOC_PCT)
 
 # Build and launch the DSE job service on $(PORT).
 serve:

@@ -5,10 +5,18 @@
 // measure, so the perf trajectory across PRs is diffable by tooling instead
 // of eyeballed from log files.
 //
+// With -compare it becomes a regression gate instead: the fresh run on
+// stdin is diffed against the -baseline snapshot and the command exits
+// non-zero if any shared benchmark slowed down by more than -max-time-pct
+// percent ns/op or grew by more than -max-alloc-pct percent allocs/op.
+//
 // Usage:
 //
 //	go test -run '^$' -bench 'Sweep|Fig|Table' -benchmem -benchtime 1x . |
 //	    benchsnap -o BENCH_PR4.json [-baseline old.txt|old.json]
+//
+//	go test -run '^$' -bench ... -benchmem . |
+//	    benchsnap -compare -baseline BENCH_PR4.json [-max-time-pct 10] [-max-alloc-pct 10]
 package main
 
 import (
@@ -33,8 +41,8 @@ type Measure struct {
 
 // Benchmark is one benchmark's snapshot entry.
 type Benchmark struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
 	Measure
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 	Baseline   *Measure           `json:"baseline,omitempty"`
@@ -53,8 +61,17 @@ type Snapshot struct {
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	baseline := flag.String("baseline", "", "prior run to compare against (bench text or snapshot JSON)")
+	compare := flag.Bool("compare", false, "gate mode: exit non-zero when stdin regresses past the thresholds vs -baseline")
+	maxTimePct := flag.Float64("max-time-pct", 10, "with -compare, max allowed ns/op increase in percent")
+	maxAllocPct := flag.Float64("max-alloc-pct", 10, "with -compare, max allowed allocs/op increase in percent")
 	flag.Parse()
-	if err := run(os.Stdin, *out, *baseline); err != nil {
+	var err error
+	if *compare {
+		err = runCompare(os.Stdin, os.Stdout, *baseline, *maxTimePct, *maxAllocPct)
+	} else {
+		err = run(os.Stdin, *out, *baseline)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		os.Exit(1)
 	}
@@ -85,6 +102,80 @@ func run(in io.Reader, outPath, baselinePath string) error {
 		return err
 	}
 	return os.WriteFile(outPath, blob, 0o644)
+}
+
+// runCompare diffs the fresh run on stdin against the baseline snapshot and
+// fails on any shared benchmark regressing past the thresholds. Benchmarks
+// present on only one side are reported but never fail the gate, so the
+// baseline does not have to be refreshed in the same change that adds or
+// removes a benchmark.
+func runCompare(in io.Reader, w io.Writer, baselinePath string, maxTimePct, maxAllocPct float64) error {
+	if baselinePath == "" {
+		return fmt.Errorf("-compare requires -baseline")
+	}
+	snap, err := parseBenchText(in)
+	if err != nil {
+		return err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin (expected `go test -bench` output)")
+	}
+	base, err := loadBaseline(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var failures []string
+	shared := 0
+	for _, b := range snap.Benchmarks {
+		m, ok := base[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "  new    %-40s %12.0f ns/op (not in baseline)\n", b.Name, b.NsPerOp)
+			continue
+		}
+		shared++
+		timePct := pctChange(b.NsPerOp, m.NsPerOp)
+		allocPct := pctChange(b.AllocsPerOp, m.AllocsPerOp)
+		status := "ok"
+		if timePct > maxTimePct || allocPct > maxAllocPct {
+			status = "FAIL"
+			failures = append(failures, b.Name)
+		}
+		fmt.Fprintf(w, "  %-6s %-40s time %+7.1f%% (%.0f -> %.0f ns/op)  allocs %+7.1f%% (%.0f -> %.0f)\n",
+			status, b.Name, timePct, m.NsPerOp, b.NsPerOp, allocPct, m.AllocsPerOp, b.AllocsPerOp)
+	}
+	for name := range base {
+		if !hasBench(snap, name) {
+			fmt.Fprintf(w, "  gone   %-40s (baseline only)\n", name)
+		}
+	}
+	if shared == 0 {
+		return fmt.Errorf("no benchmarks shared with baseline %s", baselinePath)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past +%.0f%% time / +%.0f%% allocs vs %s: %s",
+			len(failures), maxTimePct, maxAllocPct, baselinePath, strings.Join(failures, ", "))
+	}
+	fmt.Fprintf(w, "benchsnap: %d benchmarks within +%.0f%% time / +%.0f%% allocs of %s\n",
+		shared, maxTimePct, maxAllocPct, baselinePath)
+	return nil
+}
+
+// pctChange is the percent increase of cur over old; zero or missing old
+// measures (e.g. a baseline captured without -benchmem) never flag.
+func pctChange(cur, old float64) float64 {
+	if old <= 0 {
+		return 0
+	}
+	return 100 * (cur - old) / old
+}
+
+func hasBench(snap *Snapshot, name string) bool {
+	for _, b := range snap.Benchmarks {
+		if b.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // parseBenchText reads standard testing-package benchmark output.

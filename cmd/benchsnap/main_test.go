@@ -67,6 +67,74 @@ func TestAnnotateAgainstTextBaseline(t *testing.T) {
 	}
 }
 
+func TestCompareWithinThresholds(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.txt")
+	if err := os.WriteFile(basePath, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// 5% slower, fewer allocs, plus a benchmark the baseline lacks:
+	// within the default 10% bounds, and new benchmarks never fail.
+	current := `BenchmarkTable5 	       1	 372173084 ns/op	294583472 B/op	 1923686 allocs/op
+BenchmarkFig9 	       1	 862140826 ns/op	691441536 B/op	 4531873 allocs/op
+BenchmarkNewThing 	       1	 1000 ns/op	0 B/op	 0 allocs/op
+`
+	var out strings.Builder
+	if err := runCompare(strings.NewReader(current), &out, basePath, 10, 10); err != nil {
+		t.Fatalf("unexpected gate failure: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "new    BenchmarkNewThing") {
+		t.Fatalf("new benchmark not reported:\n%s", out.String())
+	}
+}
+
+func TestCompareFailsOnTimeRegression(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.txt")
+	if err := os.WriteFile(basePath, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	current := `BenchmarkTable5 	       1	 531675835 ns/op	294583472 B/op	 1923686 allocs/op
+`
+	var out strings.Builder
+	err := runCompare(strings.NewReader(current), &out, basePath, 10, 10)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkTable5") {
+		t.Fatalf("want time-regression failure naming BenchmarkTable5, got %v", err)
+	}
+	// The same run passes with a looser bound.
+	if err := runCompare(strings.NewReader(current), &strings.Builder{}, basePath, 60, 10); err != nil {
+		t.Fatalf("loose bound should pass: %v", err)
+	}
+}
+
+func TestCompareFailsOnAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.txt")
+	if err := os.WriteFile(basePath, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Time flat, allocs +20%.
+	current := `BenchmarkFig9 	       1	 862140826 ns/op	691441536 B/op	 5438247 allocs/op
+`
+	err := runCompare(strings.NewReader(current), &strings.Builder{}, basePath, 10, 10)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkFig9") {
+		t.Fatalf("want alloc-regression failure naming BenchmarkFig9, got %v", err)
+	}
+}
+
+func TestCompareRequiresSharedBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.txt")
+	if err := os.WriteFile(basePath, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	current := `BenchmarkUnrelated 	       1	 1000 ns/op	0 B/op	 0 allocs/op
+`
+	if err := runCompare(strings.NewReader(current), &strings.Builder{}, basePath, 10, 10); err == nil {
+		t.Fatal("want failure when no benchmarks are shared with the baseline")
+	}
+}
+
 func TestLoadBaselineJSONRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "snap.json")

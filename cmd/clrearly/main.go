@@ -64,6 +64,10 @@ func run(args []string, w io.Writer) error {
 	commStartup := fs.Float64("comm-startup", 0, "interconnect transfer startup cost in µs (0 = comm-free model)")
 	commPerKB := fs.Float64("comm-per-kb", 0, "interconnect cost per KB in µs")
 	memory := fs.Bool("memory", false, "enforce per-PE local memory capacities")
+	noDelta := fs.Bool("no-delta", false, "disable incremental delta evaluation (full re-evaluation of every offspring)")
+	surrogate := fs.Bool("surrogate", false, "screen offspring with a cheap surrogate proxy before full evaluation (nsga2 only)")
+	surrogateFrac := fs.Float64("surrogate-frac", 0,
+		"fraction of each generation fully evaluated under -surrogate, in (0,1] (0 = default 0.5)")
 	jsonOut := fs.Bool("json", false, "emit the front as JSON in the service wire format")
 	ganttChart := fs.Bool("gantt", false, "render the most reliable mapping as a Gantt chart (proposed/fcclr only)")
 	remote := fs.String("remote", "", "comma-separated clrearlyd worker addresses; offload the run with local fallback")
@@ -72,18 +76,21 @@ func run(args []string, w io.Writer) error {
 	}
 
 	spec := service.JobSpec{
-		App:           *app,
-		Tasks:         *tasks,
-		Method:        *method,
-		Pop:           *pop,
-		Gens:          *gens,
-		Seed:          *seed,
-		Engine:        *engine,
-		Catalog:       *catalog,
-		Objectives:    splitList(*objectives),
-		CommStartupUS: *commStartup,
-		CommPerKBUS:   *commPerKB,
-		EnforceMemory: *memory,
+		App:               *app,
+		Tasks:             *tasks,
+		Method:            *method,
+		Pop:               *pop,
+		Gens:              *gens,
+		Seed:              *seed,
+		Engine:            *engine,
+		Catalog:           *catalog,
+		Objectives:        splitList(*objectives),
+		CommStartupUS:     *commStartup,
+		CommPerKBUS:       *commPerKB,
+		EnforceMemory:     *memory,
+		NoDelta:           *noDelta,
+		Surrogate:         *surrogate,
+		SurrogateFraction: *surrogateFrac,
 		Constraints: service.Constraints{
 			MaxMakespanUS:    *maxMakespan,
 			MinFunctionalRel: *minFRel,

@@ -71,6 +71,24 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
+	// The cache and acceleration summaries go to stderr: stdout is
+	// golden-compared across cache configurations and worker counts.
+	// Registered before the profiling setup so the counters are reported
+	// even when the run aborts on a profile error or mid-experiment.
+	defer func() {
+		t := core.FitnessCacheTotals()
+		if t.Hits+t.Misses+t.Bypasses > 0 {
+			fmt.Fprintf(os.Stderr, "fitness cache: %d hits, %d misses, %d bypasses, %d evictions (hit rate %.1f%%)\n",
+				t.Hits, t.Misses, t.Bypasses, t.Evictions, 100*t.HitRate())
+		}
+		a := core.AccelTotals()
+		if a.DeltaParentReuse+a.DeltaPrefixRuns+a.DeltaFullRuns+a.ProxyEvals+a.PairedSolves+a.SoloSolves > 0 {
+			fmt.Fprintf(os.Stderr, "eval accel: delta %d reused / %d prefix / %d full, %d metrics reused, %d batch-warmed; surrogate %d proxied / %d screened out; chain solves %d paired / %d solo\n",
+				a.DeltaParentReuse, a.DeltaPrefixRuns, a.DeltaFullRuns, a.MetricsReused, a.BatchWarmed,
+				a.ProxyEvals, a.ScreenedOut, a.PairedSolves, a.SoloSolves)
+		}
+	}()
+
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -96,15 +114,6 @@ func run(args []string, w io.Writer) error {
 			}
 		}()
 	}
-	// The fitness-cache summary goes to stderr: stdout is golden-compared
-	// across cache configurations and worker counts.
-	defer func() {
-		t := core.FitnessCacheTotals()
-		if t.Hits+t.Misses+t.Bypasses > 0 {
-			fmt.Fprintf(os.Stderr, "fitness cache: %d hits, %d misses, %d bypasses, %d evictions (hit rate %.1f%%)\n",
-				t.Hits, t.Misses, t.Bypasses, t.Evictions, 100*t.HitRate())
-		}
-	}()
 
 	cfg := experiments.Default()
 	if *quick {

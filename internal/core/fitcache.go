@@ -33,7 +33,12 @@ type fitnessEntry struct {
 	key  []uint64
 	objs []float64
 	viol float64
-	slot int // index in the owning shard's clock ring
+	// times is the schedule replay artifact captured by delta-evaluating
+	// computes (nil when the evaluation came through the plain path). It
+	// adds ≈ 20·n bytes per entry on top of the ≈ 11·n·8-byte key — the
+	// memory envelope stays linear in the task count.
+	times *schedule.SeqTimes
+	slot  int // index in the owning shard's clock ring
 }
 
 // fitnessShard is one lock domain: a hash-keyed map plus a clock-eviction
@@ -141,6 +146,19 @@ func keyEqual(a, b []uint64) bool {
 // different key) bypass the cache entirely — compute runs uncached — so a
 // collision can only cost time, never correctness.
 func (c *fitnessCache) lookup(hash uint64, key []uint64, compute func() ([]float64, float64)) moea.Evaluation {
+	ev, _ := c.lookupTimes(hash, key, func() ([]float64, float64, *schedule.SeqTimes) {
+		objs, viol := compute()
+		return objs, viol, nil
+	})
+	return ev
+}
+
+// lookupTimes is lookup for delta-evaluating callers: compute additionally
+// returns the schedule replay artifact, which is cached alongside the
+// evaluation and handed back on hits so offspring of a cached genome can
+// still reuse its schedule prefix. A nil artifact (plain-path entries) is
+// valid — callers fall back to a full schedule run.
+func (c *fitnessCache) lookupTimes(hash uint64, key []uint64, compute func() ([]float64, float64, *schedule.SeqTimes)) (moea.Evaluation, *schedule.SeqTimes) {
 	s := &c.shards[hash%fitnessShards]
 	s.mu.Lock()
 	e, ok := s.m[hash]
@@ -150,8 +168,8 @@ func (c *fitnessCache) lookup(hash uint64, key []uint64, compute func() ([]float
 		if !keyEqual(e.key, key) {
 			c.bypasses.Add(1)
 			fitnessTotals.bypasses.Add(1)
-			objs, viol := compute()
-			return moea.Evaluation{Objectives: objs, Violation: viol}
+			objs, viol, times := compute()
+			return moea.Evaluation{Objectives: objs, Violation: viol}, times
 		}
 		c.hits.Add(1)
 		fitnessTotals.hits.Add(1)
@@ -165,8 +183,8 @@ func (c *fitnessCache) lookup(hash uint64, key []uint64, compute func() ([]float
 		c.misses.Add(1)
 		fitnessTotals.misses.Add(1)
 	}
-	e.once.Do(func() { e.objs, e.viol = compute() })
-	return moea.Evaluation{Objectives: e.objs, Violation: e.viol}
+	e.once.Do(func() { e.objs, e.viol, e.times = compute() })
+	return moea.Evaluation{Objectives: e.objs, Violation: e.viol}, e.times
 }
 
 // insertLocked places e in the shard's clock ring, evicting a cold entry

@@ -47,6 +47,9 @@ type fcProblem struct {
 	objs     []SystemObjective
 	cache    *metricsCache
 	fit      *fitnessCache // nil when the instance disables memoization
+
+	proxy     proxyScratch
+	batchSeen map[metricsKey]struct{} // PrepareBatch dedup scratch (under proxy.mu)
 }
 
 func newFCProblem(inst *Instance, restrict layerRestriction) *fcProblem {
@@ -180,63 +183,32 @@ func (p *fcProblem) taskMetrics(task int, g moea.Gene) (relmodel.Metrics, int) {
 	return m, pe
 }
 
+// decodeDecision resolves one task's gene into its schedule decision — the
+// per-task decode step shared by full and delta evaluation.
+func (p *fcProblem) decodeDecision(task int, g moea.Gene) schedule.TaskDecision {
+	m, pe := p.taskMetrics(task, g)
+	d := schedule.TaskDecision{PE: pe, Metrics: m}
+	if p.inst.EnforceMemory {
+		impl, asg, _ := p.decodeGene(task, g)
+		d.MemKB = relmodel.EffectiveFootprintKB(impl, asg, p.inst.Catalog)
+	}
+	return d
+}
+
+// problemCore accessors (see delta.go).
+func (p *fcProblem) instance() *Instance        { return p.inst }
+func (p *fcProblem) sysObjs() []SystemObjective { return p.objs }
+func (p *fcProblem) fitCache() *fitnessCache    { return p.fit }
+
 // decisionsInto resolves the genome into per-task schedule decisions,
 // reusing dst's capacity.
 func (p *fcProblem) decisionsInto(dst []schedule.TaskDecision, g *moea.Genome) []schedule.TaskDecision {
-	n := p.inst.Graph.NumTasks()
-	if cap(dst) < n {
-		dst = make([]schedule.TaskDecision, n)
-	}
-	dst = dst[:n]
-	for t := 0; t < n; t++ {
-		m, pe := p.taskMetrics(t, g.Genes[t])
-		d := schedule.TaskDecision{PE: pe, Metrics: m}
-		if p.inst.EnforceMemory {
-			impl, asg, _ := p.decodeGene(t, g.Genes[t])
-			d.MemKB = relmodel.EffectiveFootprintKB(impl, asg, p.inst.Catalog)
-		}
-		dst[t] = d
-	}
-	return dst
-}
-
-// fcEvaluator is the per-worker scratch of fcProblem fitness evaluation:
-// a reusable decision buffer, a reusable schedule evaluator and the key
-// scratch of the genome-level fitness cache.
-type fcEvaluator struct {
-	p         *fcProblem
-	sched     *schedule.Evaluator
-	decisions []schedule.TaskDecision
-	key       []uint64
+	return decisionsIntoCore(p, dst, g)
 }
 
 // NewEvaluator implements moea.ScratchProblem.
 func (p *fcProblem) NewEvaluator() moea.Evaluator {
-	return &fcEvaluator{p: p, sched: schedule.NewEvaluator()}
-}
-
-func (e *fcEvaluator) Evaluate(g *moea.Genome) moea.Evaluation {
-	e.decisions = e.p.decisionsInto(e.decisions, g)
-	if e.p.fit == nil {
-		return e.run(g)
-	}
-	e.key = appendFitnessKey(e.key[:0], g.Order, e.decisions)
-	return e.p.fit.lookup(fitnessHash(e.key), e.key, func() ([]float64, float64) {
-		ev := e.run(g)
-		return ev.Objectives, ev.Violation
-	})
-}
-
-// run schedules the already-decoded decisions and derives the evaluation.
-func (e *fcEvaluator) run(g *moea.Genome) moea.Evaluation {
-	res, err := e.sched.RunWithComm(e.p.inst.Graph, e.p.inst.Platform, g.Order, e.decisions, e.p.inst.Comm)
-	if err != nil {
-		panic("core: schedule evaluation failed: " + err.Error())
-	}
-	return moea.Evaluation{
-		Objectives: objectiveVector(res, e.p.objs),
-		Violation:  totalViolation(e.p.inst, res),
-	}
+	return &coreEvaluator{p: p, sched: schedule.NewEvaluator()}
 }
 
 func (p *fcProblem) Evaluate(g *moea.Genome) moea.Evaluation {
@@ -262,6 +234,8 @@ type pfProblem struct {
 	compat [][]int
 	objs   []SystemObjective
 	fit    *fitnessCache // shared with fcProblem: same instance, same keys
+
+	proxy proxyScratch
 }
 
 func newPFProblem(inst *Instance, flib *tdse.Library) *pfProblem {
@@ -304,63 +278,35 @@ func (p *pfProblem) decodeGene(task int, g moea.Gene) (tdse.Candidate, int) {
 	return c, pe
 }
 
+// decodeDecision resolves one task's gene against the Pareto-filtered
+// candidate library. Both problem formulations key the shared fitness
+// cache by the decoded schedule inputs, so an fcCLR genome re-encoding a
+// pfCLR seed hits the seed's cached evaluation whenever the decoded
+// decisions agree (and computes fresh when a diverged tDSE library makes
+// them differ).
+func (p *pfProblem) decodeDecision(task int, g moea.Gene) schedule.TaskDecision {
+	c, pe := p.decodeGene(task, g)
+	d := schedule.TaskDecision{PE: pe, Metrics: c.Metrics}
+	if p.inst.EnforceMemory {
+		d.MemKB = relmodel.EffectiveFootprintKB(c.Base, c.Assignment, p.inst.Catalog)
+	}
+	return d
+}
+
+// problemCore accessors (see delta.go).
+func (p *pfProblem) instance() *Instance        { return p.inst }
+func (p *pfProblem) sysObjs() []SystemObjective { return p.objs }
+func (p *pfProblem) fitCache() *fitnessCache    { return p.fit }
+
 // decisionsInto resolves the genome against the Pareto-filtered candidate
 // library, reusing dst's capacity.
 func (p *pfProblem) decisionsInto(dst []schedule.TaskDecision, g *moea.Genome) []schedule.TaskDecision {
-	n := p.inst.Graph.NumTasks()
-	if cap(dst) < n {
-		dst = make([]schedule.TaskDecision, n)
-	}
-	dst = dst[:n]
-	for t := 0; t < n; t++ {
-		c, pe := p.decodeGene(t, g.Genes[t])
-		d := schedule.TaskDecision{PE: pe, Metrics: c.Metrics}
-		if p.inst.EnforceMemory {
-			d.MemKB = relmodel.EffectiveFootprintKB(c.Base, c.Assignment, p.inst.Catalog)
-		}
-		dst[t] = d
-	}
-	return dst
-}
-
-// pfEvaluator mirrors fcEvaluator for the Pareto-filtered problem. Both
-// key the shared fitness cache by the decoded schedule inputs, so an
-// fcCLR genome re-encoding a pfCLR seed hits the seed's cached evaluation
-// whenever the decoded decisions agree (and computes fresh when a diverged
-// tDSE library makes them differ).
-type pfEvaluator struct {
-	p         *pfProblem
-	sched     *schedule.Evaluator
-	decisions []schedule.TaskDecision
-	key       []uint64
+	return decisionsIntoCore(p, dst, g)
 }
 
 // NewEvaluator implements moea.ScratchProblem.
 func (p *pfProblem) NewEvaluator() moea.Evaluator {
-	return &pfEvaluator{p: p, sched: schedule.NewEvaluator()}
-}
-
-func (e *pfEvaluator) Evaluate(g *moea.Genome) moea.Evaluation {
-	e.decisions = e.p.decisionsInto(e.decisions, g)
-	if e.p.fit == nil {
-		return e.run(g)
-	}
-	e.key = appendFitnessKey(e.key[:0], g.Order, e.decisions)
-	return e.p.fit.lookup(fitnessHash(e.key), e.key, func() ([]float64, float64) {
-		ev := e.run(g)
-		return ev.Objectives, ev.Violation
-	})
-}
-
-func (e *pfEvaluator) run(g *moea.Genome) moea.Evaluation {
-	res, err := e.sched.RunWithComm(e.p.inst.Graph, e.p.inst.Platform, g.Order, e.decisions, e.p.inst.Comm)
-	if err != nil {
-		panic("core: schedule evaluation failed: " + err.Error())
-	}
-	return moea.Evaluation{
-		Objectives: objectiveVector(res, e.p.objs),
-		Violation:  totalViolation(e.p.inst, res),
-	}
+	return &coreEvaluator{p: p, sched: schedule.NewEvaluator()}
 }
 
 func (p *pfProblem) Evaluate(g *moea.Genome) moea.Evaluation {

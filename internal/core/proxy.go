@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/heft"
+	"repro/internal/moea"
+	"repro/internal/schedule"
+)
+
+// proxyScratch is the reusable state of surrogate proxy evaluation. The
+// engines call ProxyEvaluate from the engine goroutine only, but the same
+// problem may serve several concurrent runs, so the scratch carries its
+// own lock (uncontended in the single-run case).
+type proxyScratch struct {
+	mu        sync.Mutex
+	topo      []int
+	decisions []schedule.TaskDecision
+	execUS    []float64
+	rank      []float64
+	damage    []float64
+	res       schedule.Result
+}
+
+// proxyEvaluate is the cheap screening evaluation shared by both problem
+// formulations: per-task decisions are decoded through the same (cached)
+// path as a full evaluation, but no list schedule is run. Energy, lifetime,
+// functional reliability and memory load depend only on the decisions and
+// are computed exactly; the makespan is replaced by the HEFT-style lower
+// bound max(critical path, heaviest PE load) and the peak power by the
+// largest single task power (both never above the true values). The result
+// ranks offspring for screening — it is never reported as a fitness.
+func proxyEvaluate(p problemCore, ps *proxyScratch, g *moea.Genome) moea.Evaluation {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	inst := p.instance()
+	n := inst.Graph.NumTasks()
+	nPE := inst.Platform.NumPEs()
+	if ps.topo == nil {
+		ps.topo = inst.Graph.TopoOrder()
+		ps.execUS = make([]float64, n)
+		ps.rank = make([]float64, n)
+		ps.damage = make([]float64, nPE)
+	}
+	ps.decisions = decisionsIntoCore(p, ps.decisions, g)
+
+	res := &ps.res
+	*res = schedule.Result{
+		PEBusyUS: growZero(res.PEBusyUS, nPE),
+		PEMemKB:  growZero(res.PEMemKB, nPE),
+	}
+	for i := range ps.damage {
+		ps.damage[i] = 0
+	}
+	zeta := inst.Graph.NormalizedCriticality()
+	for t := 0; t < n; t++ {
+		d := &ps.decisions[t]
+		m := &d.Metrics
+		ps.execUS[t] = m.AvgExTimeUS
+		res.PEBusyUS[d.PE] += m.AvgExTimeUS
+		res.PEMemKB[d.PE] += d.MemKB
+		res.EnergyUJ += m.AvgExTimeUS * m.PowerW
+		res.FunctionalRel += (1 - m.ErrProb) * zeta[t]
+		if m.PowerW > res.PeakPowerW {
+			res.PeakPowerW = m.PowerW
+		}
+		ps.damage[d.PE] += m.AvgExTimeUS / m.MTTFHours
+	}
+	res.ErrProb = 1 - res.FunctionalRel
+	res.MTTFHours = math.Inf(1)
+	for _, dm := range ps.damage {
+		if dm == 0 {
+			continue
+		}
+		if mttf := inst.Graph.PeriodUS / dm; mttf < res.MTTFHours {
+			res.MTTFHours = mttf
+		}
+	}
+	res.MakespanUS = heft.CriticalPathUS(inst.Graph, ps.topo, ps.execUS, ps.rank)
+	for _, busy := range res.PEBusyUS {
+		if busy > res.MakespanUS {
+			res.MakespanUS = busy
+		}
+	}
+	return moea.Evaluation{
+		Objectives: objectiveVector(res, p.sysObjs()),
+		Violation:  totalViolation(inst, res),
+	}
+}
+
+// growZero returns a zeroed length-n slice reusing s's capacity.
+func growZero(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// ProxyEvaluate implements moea.SurrogateProblem for the fcCLR problem.
+func (p *fcProblem) ProxyEvaluate(g *moea.Genome) moea.Evaluation {
+	return proxyEvaluate(p, &p.proxy, g)
+}
+
+// ProxyEvaluate implements moea.SurrogateProblem for the pfCLR problem.
+func (p *pfProblem) ProxyEvaluate(g *moea.Genome) moea.Evaluation {
+	return proxyEvaluate(p, &p.proxy, g)
+}
+
+// PrepareBatch implements moea.BatchProblem for the fcCLR problem: before
+// a generation's offspring fan out to the evaluation workers, the distinct
+// task configurations that differ from their parents' are decoded once on
+// the engine goroutine, warming the shared Markov-metric cache in a single
+// deduplicated pass (each warm solves the task's timing and functional
+// chains as one batched pair, see relmodel.AnalyzeChains). Workers then
+// hit warm entries instead of serializing on the cache's single-flight
+// slots. Purely a cache effect — evaluation results are unchanged.
+func (p *fcProblem) PrepareBatch(items []moea.BatchItem) {
+	p.proxy.mu.Lock()
+	defer p.proxy.mu.Unlock()
+	if p.batchSeen == nil {
+		p.batchSeen = make(map[metricsKey]struct{}, 64)
+	}
+	warmed := 0
+	for _, it := range items {
+		if it.Genome == nil {
+			continue
+		}
+		for t, gene := range it.Genome.Genes {
+			if it.Parent != nil && gene == it.Parent.Genes[t] {
+				continue
+			}
+			key := p.metricsKeyFor(t, gene)
+			if _, ok := p.batchSeen[key]; ok {
+				continue
+			}
+			p.batchSeen[key] = struct{}{}
+			p.taskMetrics(t, gene)
+			warmed++
+		}
+	}
+	clear(p.batchSeen)
+	if warmed > 0 {
+		accelCounters.batchWarmed.Add(uint64(warmed))
+	}
+}
+
+// metricsKeyFor builds the metric-cache key of one task's gene, mirroring
+// taskMetrics' key construction.
+func (p *fcProblem) metricsKeyFor(task int, g moea.Gene) metricsKey {
+	_, asg, _ := p.decodeGene(task, g)
+	tt := p.inst.Graph.Task(task).Type
+	return metricsKey{taskType: tt, impl: mod(g.Impl, len(p.inst.Lib.ImplsShared(tt))), asg: asg}
+}

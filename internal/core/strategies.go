@@ -97,6 +97,16 @@ type RunConfig struct {
 	// CheckpointEvery is the snapshot period in generations (default
 	// DefaultCheckpointEvery; meaningful only with Checkpoint set).
 	CheckpointEvery int
+	// DisableDelta switches off incremental (delta) evaluation. Delta
+	// evaluation is exact — fronts are byte-identical either way — so this
+	// is a measurement/escape hatch, not a fidelity knob.
+	DisableDelta bool
+	// SurrogateFraction, when > 0, enables surrogate screening on NSGA-II
+	// stages: per generation only this fraction of the population budget is
+	// fully evaluated, chosen by the problem's cheap proxy ranking. The
+	// final front is still exact (see moea.SurrogateParams). Must be in
+	// (0,1]; 0 disables screening.
+	SurrogateFraction float64
 }
 
 // ProgressEvent reports per-generation progress of one optimization stage
@@ -126,6 +136,10 @@ func (c RunConfig) paramsFor(stage string) moea.Params {
 	p := moea.DefaultParams(c.Pop, c.Gens, c.Seed)
 	p.Workers = c.Workers
 	p.Ctx = c.Ctx
+	p.DisableDelta = c.DisableDelta
+	if c.SurrogateFraction > 0 {
+		p.Surrogate = moea.SurrogateParams{Enabled: true, Fraction: c.SurrogateFraction}
+	}
 	if c.Progress != nil {
 		progress := c.Progress
 		p.OnGeneration = func(g moea.GenerationInfo) {

@@ -213,6 +213,8 @@ type analyzeScratch struct {
 	iqT, r               matrix.Dense
 	lu                   matrix.LU
 	e, visits            []float64
+	// bm/xm are the multi-RHS buffers of AnalyzePair's batched solve.
+	bm, xm matrix.Dense
 }
 
 var scratchPool = sync.Pool{New: func() any { return &analyzeScratch{} }}
@@ -232,6 +234,102 @@ func growF(s []float64, n int) []float64 {
 	return s[:n]
 }
 
+// assemble partitions the states and builds the (I − Q)ᵀ system and the
+// transient→absorbing block R into sc — the front half of Analyze, shared
+// with AnalyzePair. Callers have already handled the degenerate
+// absorbed-at-start case.
+//
+// Fundamental matrix N = (I − Q)⁻¹. We only need the start row of N:
+// visits v = e_startᵀ·N, obtained by solving (I − Q)ᵀ·vᵀ = e_start.
+// (I − Q)ᵀ is assembled in place — transition i→j contributes −Q[i][j]
+// to entry (j, i) — instead of materializing Q, I − Q and a transposed
+// copy (this sits on the hot path of every task-metric evaluation).
+func (c *Chain) assemble(sc *analyzeScratch) error {
+	ns := len(c.names)
+	sc.transient, sc.absorbing = sc.transient[:0], sc.absorbing[:0]
+	sc.tIndex, sc.aIndex = grow(sc.tIndex, ns), grow(sc.aIndex, ns)
+	for s := 0; s < ns; s++ {
+		if c.absorbing[s] {
+			sc.aIndex[s] = int32(len(sc.absorbing))
+			sc.absorbing = append(sc.absorbing, int32(s))
+		} else {
+			sc.tIndex[s] = int32(len(sc.transient))
+			sc.transient = append(sc.transient, int32(s))
+		}
+	}
+	if len(sc.absorbing) == 0 {
+		return fmt.Errorf("markov: chain has no absorbing state")
+	}
+	// Validate outgoing probability mass of transient states.
+	for _, s := range sc.transient {
+		if sum := c.outMass(int(s)); math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("markov: state %q has outgoing probability %v, want 1", c.names[s], sum)
+		}
+	}
+	nT, nA := len(sc.transient), len(sc.absorbing)
+	rd := sc.r.Reshape(nT, nA).Data() // transient → absorbing
+	qd := sc.iqT.ReshapeIdentity(nT).Data()
+	for _, s := range sc.transient {
+		i := int(sc.tIndex[s])
+		for e := c.head[s]; e >= 0; e = c.earena[e].next {
+			to, prob := int(c.earena[e].to), c.earena[e].prob
+			if c.absorbing[to] {
+				rd[i*nA+int(sc.aIndex[to])] += prob
+			} else {
+				qd[int(sc.tIndex[to])*nT+i] += -prob
+			}
+		}
+	}
+	return nil
+}
+
+// factorAndSolve factorizes the assembled system and solves for the
+// start-row visits vector — the back half of Analyze.
+func (c *Chain) factorAndSolve(sc *analyzeScratch) error {
+	if err := matrix.FactorizeInto(&sc.lu, &sc.iqT); err != nil {
+		return fmt.Errorf("markov: chain is not absorbing from every transient state: %w", err)
+	}
+	c.solveStart(sc)
+	return nil
+}
+
+// solveStart solves (I − Q)ᵀ·visits = e_start with sc's factorization.
+func (c *Chain) solveStart(sc *analyzeScratch) {
+	nT := len(sc.transient)
+	sc.e, sc.visits = growF(sc.e, nT), growF(sc.visits, nT)
+	for i := range sc.e {
+		sc.e[i] = 0
+	}
+	sc.e[sc.tIndex[c.start]] = 1
+	sc.lu.SolveVecInto(sc.visits, sc.e)
+}
+
+// collect turns the solved visits vector into a Result, replicating
+// Analyze's historical summation order exactly.
+func (c *Chain) collect(sc *analyzeScratch) *Result {
+	nT, nA := len(sc.transient), len(sc.absorbing)
+	res := &Result{
+		ExpectedVisits: make(map[int]float64, nT),
+		Absorption:     make(map[int]float64, nA),
+	}
+	for _, s := range sc.transient {
+		v := sc.visits[sc.tIndex[s]]
+		res.ExpectedVisits[int(s)] = v
+		res.ExpectedTime += v * c.residence[s]
+	}
+	// Absorption probabilities B = N·R; start row is visitsᵀ·R.
+	rd := sc.r.Data()
+	for _, s := range sc.absorbing {
+		j := int(sc.aIndex[s])
+		p := 0.0
+		for _, ts := range sc.transient {
+			p += sc.visits[sc.tIndex[ts]] * rd[int(sc.tIndex[ts])*nA+j]
+		}
+		res.Absorption[int(s)] = p
+	}
+	return res
+}
+
 // Analyze validates the chain and computes expected time to absorption and
 // absorption probabilities using the fundamental matrix.
 func (c *Chain) Analyze() (*Result, error) {
@@ -249,77 +347,85 @@ func (c *Chain) Analyze() (*Result, error) {
 
 	sc := scratchPool.Get().(*analyzeScratch)
 	defer scratchPool.Put(sc)
+	if err := c.assemble(sc); err != nil {
+		return nil, err
+	}
+	if err := c.factorAndSolve(sc); err != nil {
+		return nil, err
+	}
+	return c.collect(sc), nil
+}
 
-	ns := len(c.names)
-	sc.transient, sc.absorbing = sc.transient[:0], sc.absorbing[:0]
-	sc.tIndex, sc.aIndex = grow(sc.tIndex, ns), grow(sc.aIndex, ns)
-	for s := 0; s < ns; s++ {
-		if c.absorbing[s] {
-			sc.aIndex[s] = int32(len(sc.absorbing))
-			sc.absorbing = append(sc.absorbing, int32(s))
+// AnalyzePair analyzes two chains together, answering both from a single
+// factorization when their transient systems coincide bit for bit. The
+// timing and functional chains of a checkpoint-free CLR configuration are
+// the motivating case: both insert the same transient states in the same
+// order with the same inter-state probabilities, so their (I − Q)ᵀ
+// matrices are identical even though residence times and absorbing
+// structure differ. Sharing is detected by bitwise comparison of the
+// assembled systems — never assumed from the builders — so the returned
+// results are bit-identical to a.Analyze() and b.Analyze() in every case.
+// shared reports whether one factorization served both.
+func AnalyzePair(a, b *Chain) (ra, rb *Result, shared bool, err error) {
+	if !a.hasStart || !b.hasStart || a.absorbing[a.start] || b.absorbing[b.start] {
+		// Missing-start errors and degenerate absorbed-at-start results keep
+		// Analyze's exact behavior.
+		if ra, err = a.Analyze(); err != nil {
+			return nil, nil, false, err
+		}
+		if rb, err = b.Analyze(); err != nil {
+			return nil, nil, false, err
+		}
+		return ra, rb, false, nil
+	}
+	sa := scratchPool.Get().(*analyzeScratch)
+	defer scratchPool.Put(sa)
+	sb := scratchPool.Get().(*analyzeScratch)
+	defer scratchPool.Put(sb)
+	if err = a.assemble(sa); err != nil {
+		return nil, nil, false, err
+	}
+	if err = b.assemble(sb); err != nil {
+		return nil, nil, false, err
+	}
+	if sa.iqT.EqualBits(&sb.iqT) {
+		if err = matrix.FactorizeInto(&sa.lu, &sa.iqT); err != nil {
+			return nil, nil, false, fmt.Errorf("markov: chain is not absorbing from every transient state: %w", err)
+		}
+		nT := len(sa.transient)
+		ia, ib := int(sa.tIndex[a.start]), int(sb.tIndex[b.start])
+		if ia == ib {
+			// Same system, same right-hand side: one solve serves both. The
+			// copied visits are bit-identical to what b's own factorization
+			// would produce, because the factorization is a deterministic
+			// function of the matrix bits.
+			a.solveStart(sa)
+			sb.visits = growF(sb.visits, nT)
+			copy(sb.visits, sa.visits[:nT])
 		} else {
-			sc.tIndex[s] = int32(len(sc.transient))
-			sc.transient = append(sc.transient, int32(s))
-		}
-	}
-	if len(sc.absorbing) == 0 {
-		return nil, fmt.Errorf("markov: chain has no absorbing state")
-	}
-	// Validate outgoing probability mass of transient states.
-	for _, s := range sc.transient {
-		if sum := c.outMass(int(s)); math.Abs(sum-1) > 1e-9 {
-			return nil, fmt.Errorf("markov: state %q has outgoing probability %v, want 1", c.names[s], sum)
-		}
-	}
-
-	nT, nA := len(sc.transient), len(sc.absorbing)
-	r := sc.r.Reshape(nT, nA) // transient → absorbing
-	// Fundamental matrix N = (I − Q)⁻¹. We only need the start row of N:
-	// visits v = e_startᵀ·N, obtained by solving (I − Q)ᵀ·vᵀ = e_start.
-	// (I − Q)ᵀ is assembled in place — transition i→j contributes −Q[i][j]
-	// to entry (j, i) — instead of materializing Q, I − Q and a transposed
-	// copy (this sits on the hot path of every task-metric evaluation).
-	iqT := sc.iqT.ReshapeIdentity(nT)
-	for _, s := range sc.transient {
-		i := int(sc.tIndex[s])
-		for e := c.head[s]; e >= 0; e = c.earena[e].next {
-			to, prob := int(c.earena[e].to), c.earena[e].prob
-			if c.absorbing[to] {
-				r.Add(i, int(sc.aIndex[to]), prob)
-			} else {
-				iqT.Add(int(sc.tIndex[to]), i, -prob)
+			// Same system, different start rows: batch both unit right-hand
+			// sides through one multi-RHS solve (column-wise identical to
+			// two SolveVecInto calls).
+			bm := sa.bm.Reshape(nT, 2)
+			bm.Set(ia, 0, 1)
+			bm.Set(ib, 1, 1)
+			xm := sa.xm.Reshape(nT, 2)
+			sa.lu.SolveInto(xm, bm)
+			sa.visits, sb.visits = growF(sa.visits, nT), growF(sb.visits, nT)
+			for i := 0; i < nT; i++ {
+				sa.visits[i] = xm.At(i, 0)
+				sb.visits[i] = xm.At(i, 1)
 			}
 		}
+		return a.collect(sa), b.collect(sb), true, nil
 	}
-	if err := matrix.FactorizeInto(&sc.lu, iqT); err != nil {
-		return nil, fmt.Errorf("markov: chain is not absorbing from every transient state: %w", err)
+	if err = a.factorAndSolve(sa); err != nil {
+		return nil, nil, false, err
 	}
-	sc.e, sc.visits = growF(sc.e, nT), growF(sc.visits, nT)
-	for i := range sc.e {
-		sc.e[i] = 0
+	if err = b.factorAndSolve(sb); err != nil {
+		return nil, nil, false, err
 	}
-	sc.e[sc.tIndex[c.start]] = 1
-	sc.lu.SolveVecInto(sc.visits, sc.e)
-
-	res := &Result{
-		ExpectedVisits: make(map[int]float64, nT),
-		Absorption:     make(map[int]float64, nA),
-	}
-	for _, s := range sc.transient {
-		v := sc.visits[sc.tIndex[s]]
-		res.ExpectedVisits[int(s)] = v
-		res.ExpectedTime += v * c.residence[s]
-	}
-	// Absorption probabilities B = N·R; start row is visitsᵀ·R.
-	for _, s := range sc.absorbing {
-		j := int(sc.aIndex[s])
-		p := 0.0
-		for _, ts := range sc.transient {
-			p += sc.visits[sc.tIndex[ts]] * r.At(int(sc.tIndex[ts]), j)
-		}
-		res.Absorption[int(s)] = p
-	}
-	return res, nil
+	return a.collect(sa), b.collect(sb), false, nil
 }
 
 // AbsorptionProbability is a convenience accessor: the probability of

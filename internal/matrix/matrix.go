@@ -113,6 +113,28 @@ func (m *Dense) check(i, j int) {
 	}
 }
 
+// Data returns the backing row-major storage of m. The slice aliases the
+// matrix: writes through it are visible to At and vice versa. Hot callers
+// (the Markov-chain assembly) use it to fill scattered entries without
+// per-element bounds-check wrappers.
+func (m *Dense) Data() []float64 { return m.data }
+
+// EqualBits reports whether m and b have identical shape and bit-identical
+// entries (zeros are compared by sign, NaNs by pattern). Batched solvers use
+// it to detect that two independently assembled systems share one
+// factorization.
+func (m *Dense) EqualBits(b *Dense) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Float64bits(v) != math.Float64bits(b.data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Clone returns a deep copy of m.
 func (m *Dense) Clone() *Dense {
 	c := New(m.rows, m.cols)
@@ -249,12 +271,17 @@ func FactorizeInto(f *LU, a *Dense) error {
 		pivot[i] = i
 	}
 	sign := 1
+	// The factorization runs on the raw row-major storage: this loop is the
+	// single hottest kernel of the chain analysis, and the At/Set/Add
+	// accessors' bounds checks dominate it. The operation sequence is
+	// unchanged (x −= f·y ≡ x += −(f·y)), so results stay bit-identical.
+	data := lu.data
 	for k := 0; k < n; k++ {
 		// Partial pivoting: pick the largest magnitude in column k.
 		p := k
-		max := math.Abs(lu.At(k, k))
+		max := math.Abs(data[k*n+k])
 		for i := k + 1; i < n; i++ {
-			if a := math.Abs(lu.At(i, k)); a > max {
+			if a := math.Abs(data[i*n+k]); a > max {
 				max, p = a, i
 			}
 		}
@@ -266,15 +293,17 @@ func FactorizeInto(f *LU, a *Dense) error {
 			pivot[p], pivot[k] = pivot[k], pivot[p]
 			sign = -sign
 		}
-		inv := 1 / lu.At(k, k)
+		rk := data[k*n : (k+1)*n]
+		inv := 1 / rk[k]
 		for i := k + 1; i < n; i++ {
-			f := lu.At(i, k) * inv
-			lu.Set(i, k, f)
+			ri := data[i*n : (i+1)*n]
+			f := ri[k] * inv
+			ri[k] = f
 			if f == 0 {
 				continue
 			}
 			for j := k + 1; j < n; j++ {
-				lu.Add(i, j, -f*lu.At(k, j))
+				ri[j] -= f * rk[j]
 			}
 		}
 	}
@@ -304,6 +333,9 @@ func (f *LU) SolveVecInto(x, b []float64) {
 	if len(b) != n || len(x) != n {
 		panic(fmt.Sprintf("matrix: solve buffers %d/%d, want %d", len(x), len(b), n))
 	}
+	// Substitutions run on the raw storage like FactorizeInto; identical
+	// operation sequence, no per-element bounds checks.
+	data := f.lu.data
 	// Apply permutation.
 	for i := 0; i < n; i++ {
 		x[i] = b[f.pivot[i]]
@@ -311,39 +343,66 @@ func (f *LU) SolveVecInto(x, b []float64) {
 	// Forward substitution with unit lower triangle.
 	for i := 1; i < n; i++ {
 		s := x[i]
-		for j := 0; j < i; j++ {
-			s -= f.lu.At(i, j) * x[j]
+		ri := data[i*n : i*n+i]
+		for j, v := range ri {
+			s -= v * x[j]
 		}
 		x[i] = s
 	}
 	// Back substitution with upper triangle.
 	for i := n - 1; i >= 0; i-- {
 		s := x[i]
+		ri := data[i*n : (i+1)*n]
 		for j := i + 1; j < n; j++ {
-			s -= f.lu.At(i, j) * x[j]
+			s -= ri[j] * x[j]
 		}
-		x[i] = s / f.lu.At(i, i)
+		x[i] = s / ri[i]
 	}
 }
 
 // Solve solves A·X = B for X (B may have multiple columns).
 func (f *LU) Solve(b *Dense) *Dense {
-	n := f.lu.rows
-	if b.rows != n {
-		panic(fmt.Sprintf("matrix: rhs has %d rows, want %d", b.rows, n))
-	}
-	out := New(n, b.cols)
-	col := make([]float64, n)
-	for j := 0; j < b.cols; j++ {
-		for i := 0; i < n; i++ {
-			col[i] = b.At(i, j)
-		}
-		x := f.SolveVec(col)
-		for i := 0; i < n; i++ {
-			out.Set(i, j, x[i])
-		}
-	}
+	out := New(f.lu.rows, b.cols)
+	f.SolveInto(out, b)
 	return out
+}
+
+// SolveInto solves A·X = B for all columns of B into the caller-provided X
+// (n×k, which must not alias B), the multi-RHS, allocation-free form of
+// Solve: one factorization amortized over k right-hand sides. Each column
+// goes through the same permute/forward/back substitution sequence as
+// SolveVecInto, so a batched solve is bit-identical to k separate ones.
+func (f *LU) SolveInto(x, b *Dense) {
+	n := f.lu.rows
+	if b.rows != n || x.rows != n || x.cols != b.cols {
+		panic(fmt.Sprintf("matrix: solve buffers %dx%d/%dx%d, want %d rows and equal columns",
+			x.rows, x.cols, b.rows, b.cols, n))
+	}
+	data := f.lu.data
+	for j := 0; j < b.cols; j++ {
+		// Apply permutation.
+		for i := 0; i < n; i++ {
+			x.data[i*x.cols+j] = b.data[f.pivot[i]*b.cols+j]
+		}
+		// Forward substitution with unit lower triangle.
+		for i := 1; i < n; i++ {
+			s := x.data[i*x.cols+j]
+			ri := data[i*n : i*n+i]
+			for k, v := range ri {
+				s -= v * x.data[k*x.cols+j]
+			}
+			x.data[i*x.cols+j] = s
+		}
+		// Back substitution with upper triangle.
+		for i := n - 1; i >= 0; i-- {
+			s := x.data[i*x.cols+j]
+			ri := data[i*n : (i+1)*n]
+			for k := i + 1; k < n; k++ {
+				s -= ri[k] * x.data[k*x.cols+j]
+			}
+			x.data[i*x.cols+j] = s / ri[i]
+		}
+	}
 }
 
 // Det returns the determinant of the factorized matrix.

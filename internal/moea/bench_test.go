@@ -48,7 +48,7 @@ func benchmarkEvaluate(b *testing.B, workers int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		evaluate(p, pop, workers)
+		evaluate(p, pop, workers, true)
 	}
 }
 

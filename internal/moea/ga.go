@@ -67,6 +67,14 @@ type Params struct {
 	// only on the restored state and the seeded RNG stream, the resumed
 	// run's final front is byte-identical to the uninterrupted run's.
 	Resume *Checkpoint
+	// DisableDelta turns off delta evaluation on problems whose evaluators
+	// implement DeltaEvaluator. Delta evaluation is exact — results are
+	// bit-identical either way — so this switch exists for measurement and
+	// as an escape hatch, not for correctness.
+	DisableDelta bool
+	// Surrogate configures surrogate screening (NSGA-II engine only; the
+	// problem must implement SurrogateProblem).
+	Surrogate SurrogateParams
 }
 
 // GenerationInfo is a per-generation progress report delivered through
@@ -138,6 +146,9 @@ func (p Params) Validate() error {
 	if p.TournamentK < 1 {
 		return fmt.Errorf("moea: tournament size %d must be ≥ 1", p.TournamentK)
 	}
+	if err := p.Surrogate.validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -175,6 +186,16 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 	n := p.NumTasks()
 	src := newCountingSource(params.Seed)
 	rng := rand.New(src)
+
+	useDelta := !params.DisableDelta
+	var surrogate SurrogateProblem
+	if params.Surrogate.Enabled {
+		sp, ok := p.(SurrogateProblem)
+		if !ok {
+			return nil, fmt.Errorf("moea: surrogate screening enabled but problem offers no proxy evaluation")
+		}
+		surrogate = sp
+	}
 
 	if params.FixedOrder != nil {
 		if len(params.FixedOrder) != n {
@@ -241,7 +262,7 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		if err := params.cancelled(); err != nil {
 			return nil, err
 		}
-		evaluate(p, pop, params.Workers)
+		evaluate(p, pop, params.Workers, useDelta)
 		res.Evaluations += len(pop)
 		archive = updateArchive(archive, pop, archiveCap)
 		rankAndCrowd(pop)
@@ -258,15 +279,20 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		// and two mutations produce the offspring.
 		offspring := make([]*solution, 0, params.PopSize)
 		for len(offspring) < params.PopSize {
-			a := tournament(rng, pop, params.TournamentK).genome.Clone()
-			b := tournament(rng, pop, params.TournamentK).genome.Clone()
+			pa := tournament(rng, pop, params.TournamentK)
+			pb := tournament(rng, pop, params.TournamentK)
+			a := pa.genome.Clone()
+			b := pb.genome.Clone()
 			if !params.DisableConfigCrossover && rng.Float64() < params.CrossoverProb {
 				crossoverConfig(rng, a, b)
 			}
 			if !params.DisableOrderCrossover && rng.Float64() < params.CrossoverProb {
 				crossoverOrder(rng, a, b)
 			}
-			for _, child := range []*Genome{a, b} {
+			// Each child is linked to the parent whose clone it started from:
+			// after the cut-range exchanges it still shares most of its genes
+			// with that parent, which is what delta evaluation exploits.
+			for i, child := range []*Genome{a, b} {
 				for t := 0; t < n; t++ {
 					if rng.Float64() < params.MutationProb {
 						child.Genes[t] = p.MutateGene(rng, t, child.Genes[t])
@@ -276,12 +302,41 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 					mutateOrder(rng, child)
 				}
 				if len(offspring) < params.PopSize {
-					offspring = append(offspring, &solution{genome: child})
+					par := pa
+					if i == 1 {
+						par = pb
+					}
+					offspring = append(offspring, &solution{genome: child, parent: par})
 				}
 			}
 		}
-		evaluate(p, offspring, params.Workers)
-		res.Evaluations += len(offspring)
+		evalBatch := offspring
+		if surrogate != nil {
+			// Surrogate screening: rank the whole brood by the cheap proxy,
+			// pay for full evaluations only on the most promising quota. The
+			// rest keep proxy scores — enough for selection pressure, never
+			// admitted to the archive.
+			for _, s := range offspring {
+				s.eval = surrogate.ProxyEvaluate(s.genome)
+				s.approx = true
+			}
+			surrogateTotals.proxy.Add(uint64(len(offspring)))
+			evalBatch = screenTop(offspring, surrogateQuota(params))
+			surrogateTotals.screened.Add(uint64(len(offspring) - len(evalBatch)))
+			for _, s := range evalBatch {
+				s.approx = false
+			}
+		}
+		evaluate(p, evalBatch, params.Workers, useDelta)
+		if surrogate != nil {
+			// Screened-out offspring still hold parent links (evaluate only
+			// clears the ones it saw); drop them so retired generations are
+			// not retained through approx survivors.
+			for _, s := range offspring {
+				s.parent = nil
+			}
+		}
+		res.Evaluations += len(evalBatch)
 		archive = updateArchive(archive, offspring, archiveCap)
 
 		// Environmental selection over parents ∪ offspring.
@@ -304,6 +359,26 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		params.emit(gen+1, res.Evaluations, len(archive))
 		if params.checkpointDue(gen + 1) {
 			params.OnCheckpoint(snapshotRun(gen+1, res.Evaluations, src.Draws(), pop, archive))
+		}
+	}
+
+	if surrogate != nil {
+		// Exactness-preserving final pass: any population member still
+		// carrying a proxy score is fully evaluated before the front is
+		// reported, so the archive only ever holds exact evaluations.
+		var approx []*solution
+		for _, s := range pop {
+			if s.approx {
+				approx = append(approx, s)
+			}
+		}
+		if len(approx) > 0 {
+			evaluate(p, approx, params.Workers, useDelta)
+			for _, s := range approx {
+				s.approx = false
+			}
+			res.Evaluations += len(approx)
+			archive = updateArchive(archive, approx, archiveCap)
 		}
 	}
 
@@ -331,36 +406,60 @@ func tournament(rng *rand.Rand, pop []*solution, k int) *solution {
 // evaluate computes fitness for all solutions, in parallel when beneficial.
 // With workers ≤ 0 it claims CPU tokens from the process-wide budget shared
 // with the sweep engine, so GA evaluators nested under parallel sweep cells
-// divide GOMAXPROCS instead of oversubscribing it. Worker count never
+// divide GOMAXPROCS instead of oversubscribing it; the request is clamped
+// to len(sols) up front so tokens a small batch could never use are not
+// taken from concurrent runs even for an instant. Worker count never
 // affects results: each solution's evaluation is independent and written to
 // its own slot.
-func evaluate(p Problem, sols []*solution, workers int) {
+//
+// When useDelta is set and the problem's evaluators implement
+// DeltaEvaluator, each solution with a recorded parent is evaluated
+// incrementally against that parent's replay state — an exact optimization
+// (results are bit-identical to full evaluation). Parent links are cleared
+// afterwards so retired generations can be collected.
+func evaluate(p Problem, sols []*solution, workers int, useDelta bool) {
 	if len(sols) == 0 {
 		return
 	}
-	acquired := 0
+	if bp, ok := p.(BatchProblem); ok {
+		items := make([]BatchItem, len(sols))
+		for i, s := range sols {
+			items[i] = BatchItem{Genome: s.genome}
+			if s.parent != nil {
+				items[i].Parent = s.parent.genome
+			}
+		}
+		bp.PrepareBatch(items)
+	}
 	if workers <= 0 {
 		want := runtime.GOMAXPROCS(0)
 		if want > len(sols) {
 			want = len(sols)
 		}
-		acquired = sweep.AcquireWorkers(want)
+		acquired := sweep.AcquireWorkers(want)
 		defer func() { sweep.ReleaseWorkers(acquired) }()
 		workers = acquired
-	}
-	if workers > len(sols) {
-		// Hand back tokens the clamp leaves unused instead of holding them
-		// for the whole generation.
-		if acquired > len(sols) {
-			sweep.ReleaseWorkers(acquired - len(sols))
-			acquired = len(sols)
-		}
+	} else if workers > len(sols) {
 		workers = len(sols)
+	}
+	evalRange := func(ev Evaluator, s *solution) {
+		if de, ok := ev.(DeltaEvaluator); ok && useDelta {
+			var pg *Genome
+			var pst any
+			if s.parent != nil {
+				pg, pst = s.parent.genome, s.parent.delta
+			}
+			s.eval, s.delta = de.EvaluateDelta(s.genome, pg, pst)
+		} else {
+			s.eval = ev.Evaluate(s.genome)
+			s.delta = nil
+		}
+		s.parent = nil
 	}
 	if workers <= 1 {
 		ev := newEvaluator(p)
 		for _, s := range sols {
-			s.eval = ev.Evaluate(s.genome)
+			evalRange(ev, s)
 		}
 		return
 	}
@@ -379,7 +478,7 @@ func evaluate(p Problem, sols []*solution, workers int) {
 				if i >= len(sols) {
 					return
 				}
-				sols[i].eval = ev.Evaluate(sols[i].genome)
+				evalRange(ev, sols[i])
 			}
 		}()
 	}
@@ -388,10 +487,11 @@ func evaluate(p Problem, sols []*solution, workers int) {
 
 // updateArchive merges the feasible members of batch into the external
 // non-dominated archive, Pareto-filters, and truncates to cap by crowding
-// distance if needed.
+// distance if needed. Solutions carrying surrogate proxy scores are never
+// admitted — the archive holds exact evaluations only.
 func updateArchive(archive, batch []*solution, limit int) []*solution {
 	for _, s := range batch {
-		if s.eval.Violation == 0 {
+		if s.eval.Violation == 0 && !s.approx {
 			archive = append(archive, s)
 		}
 	}

@@ -27,6 +27,10 @@ func RunMOEAD(p Problem, params Params, seeds []*Genome) (*Result, error) {
 	if m < 2 {
 		return nil, fmt.Errorf("moea: MOEA/D needs ≥ 2 objectives, problem has %d", m)
 	}
+	if params.Surrogate.Enabled {
+		return nil, fmt.Errorf("moea: surrogate screening requires the NSGA-II engine")
+	}
+	useDelta := !params.DisableDelta
 	n := p.NumTasks()
 	src := newCountingSource(params.Seed)
 	rng := rand.New(src)
@@ -102,7 +106,7 @@ func RunMOEAD(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		if err := params.cancelled(); err != nil {
 			return nil, err
 		}
-		evaluate(p, pop, params.Workers)
+		evaluate(p, pop, params.Workers, useDelta)
 		res.Evaluations = len(pop)
 		for _, s := range pop {
 			updateIdeal(s.eval)
@@ -129,7 +133,8 @@ func RunMOEAD(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		}
 		for i := range pop {
 			nb := neighbors[i]
-			a := pop[nb[rng.Intn(len(nb))]].genome.Clone()
+			pa := pop[nb[rng.Intn(len(nb))]]
+			a := pa.genome.Clone()
 			b := pop[nb[rng.Intn(len(nb))]].genome.Clone()
 			if !params.DisableConfigCrossover && rng.Float64() < params.CrossoverProb {
 				crossoverConfig(rng, a, b)
@@ -146,7 +151,14 @@ func RunMOEAD(p Problem, params Params, seeds []*Genome) (*Result, error) {
 			if params.FixedOrder == nil && !params.DisableOrderMutation && rng.Float64() < params.MutationProb {
 				mutateOrder(rng, child)
 			}
-			cs := &solution{genome: child, eval: ev.Evaluate(child)}
+			// The child started as pa's clone, so pa is its delta-evaluation
+			// reference; pa stays valid even if a pop slot was replaced.
+			cs := &solution{genome: child}
+			if de, ok := ev.(DeltaEvaluator); ok && useDelta {
+				cs.eval, cs.delta = de.EvaluateDelta(child, pa.genome, pa.delta)
+			} else {
+				cs.eval = ev.Evaluate(child)
+			}
 			res.Evaluations++
 			updateIdeal(cs.eval)
 			archive = updateArchive(archive, []*solution{cs}, archiveCap)

@@ -13,6 +13,16 @@ type solution struct {
 	eval   Evaluation
 	rank   int
 	crowd  float64
+	// parent links an offspring to the solution its genome was derived
+	// from, for delta evaluation; evaluate clears it so retired parents
+	// are not retained across generations.
+	parent *solution
+	// delta is the opaque replay state a DeltaEvaluator returned for this
+	// solution's exact evaluation (nil if none).
+	delta any
+	// approx marks eval as a surrogate proxy result: usable for selection
+	// pressure, never admissible to fronts or archives.
+	approx bool
 }
 
 // constrainedDominates implements constraint-domination (Deb): a feasible

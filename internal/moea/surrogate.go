@@ -1,0 +1,112 @@
+package moea
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// SurrogateParams configures surrogate screening (Params.Surrogate). When
+// enabled on a SurrogateProblem, each generation's offspring are first
+// ranked by the problem's cheap proxy evaluation and only the top Fraction
+// of the population budget receives a full evaluation; the rest carry
+// their proxy scores through selection. Screening is exactness-preserving:
+// proxy results never enter the archive, and every member of the final
+// population that still holds a proxy score is fully re-evaluated before
+// the front is reported.
+type SurrogateParams struct {
+	Enabled bool
+	// Fraction of PopSize fully evaluated per generation, in (0,1];
+	// 0 selects DefaultSurrogateFraction.
+	Fraction float64
+}
+
+// DefaultSurrogateFraction is the evaluated fraction when
+// SurrogateParams.Fraction is left zero.
+const DefaultSurrogateFraction = 0.5
+
+func (s SurrogateParams) validate() error {
+	if !s.Enabled {
+		return nil
+	}
+	if math.IsNaN(s.Fraction) || s.Fraction < 0 || s.Fraction > 1 {
+		return fmt.Errorf("moea: surrogate fraction %v outside (0,1]", s.Fraction)
+	}
+	return nil
+}
+
+// fraction returns the effective evaluated fraction.
+func (s SurrogateParams) fraction() float64 {
+	if s.Fraction == 0 {
+		return DefaultSurrogateFraction
+	}
+	return s.Fraction
+}
+
+// surrogateTotals counts process-wide screening activity for /metrics.
+var surrogateTotals struct {
+	proxy    atomic.Uint64
+	screened atomic.Uint64
+}
+
+// SurrogateStats is a snapshot of process-wide surrogate screening
+// counters.
+type SurrogateStats struct {
+	// Proxy counts proxy (surrogate) evaluations performed.
+	Proxy uint64
+	// Screened counts offspring whose full evaluation was skipped in the
+	// generation they were produced (deferred to the final exact pass if
+	// they survive).
+	Screened uint64
+}
+
+// SurrogateTotals returns the process-wide surrogate screening counters.
+func SurrogateTotals() SurrogateStats {
+	return SurrogateStats{
+		Proxy:    surrogateTotals.proxy.Load(),
+		Screened: surrogateTotals.screened.Load(),
+	}
+}
+
+// screenTop ranks offspring by their (proxy) evaluations with the same
+// machinery selection uses — constraint-dominated non-dominated sorting
+// plus crowding — and returns the quota most promising ones. Ties beyond
+// rank and crowding break by offspring index, so screening is fully
+// deterministic.
+func screenTop(offspring []*solution, quota int) []*solution {
+	if quota >= len(offspring) {
+		return offspring
+	}
+	for _, f := range nonDominatedSort(offspring) {
+		assignCrowding(f)
+	}
+	idx := make([]int, len(offspring))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		sa, sb := offspring[idx[a]], offspring[idx[b]]
+		if sa.rank != sb.rank {
+			return sa.rank < sb.rank
+		}
+		return sa.crowd > sb.crowd
+	})
+	kept := make([]*solution, 0, quota)
+	for _, i := range idx[:quota] {
+		kept = append(kept, offspring[i])
+	}
+	return kept
+}
+
+// surrogateQuota is the per-generation full-evaluation budget.
+func surrogateQuota(params Params) int {
+	q := int(math.Ceil(params.Surrogate.fraction() * float64(params.PopSize)))
+	if q < 1 {
+		q = 1
+	}
+	if q > params.PopSize {
+		q = params.PopSize
+	}
+	return q
+}

@@ -1,0 +1,151 @@
+package moea
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// surrogateZDT pairs the exact ZDT evaluation with a deliberately coarse
+// proxy (the exact objectives rounded to one decimal): good enough to rank,
+// never reported.
+type surrogateZDT struct{ zdtProblem }
+
+func (p *surrogateZDT) ProxyEvaluate(g *Genome) Evaluation {
+	ev := p.zdtProblem.Evaluate(g)
+	for i, v := range ev.Objectives {
+		ev.Objectives[i] = math.Round(v*10) / 10
+	}
+	return ev
+}
+
+func TestSurrogateParamsValidate(t *testing.T) {
+	for _, frac := range []float64{-0.1, 1.5, math.NaN()} {
+		p := SurrogateParams{Enabled: true, Fraction: frac}
+		if err := p.validate(); err == nil {
+			t.Fatalf("fraction %v accepted", frac)
+		}
+	}
+	for _, frac := range []float64{0, 0.25, 1} {
+		p := SurrogateParams{Enabled: true, Fraction: frac}
+		if err := p.validate(); err != nil {
+			t.Fatalf("fraction %v rejected: %v", frac, err)
+		}
+	}
+	if (SurrogateParams{Enabled: true}).fraction() != DefaultSurrogateFraction {
+		t.Fatal("zero fraction should fall back to the default")
+	}
+}
+
+func TestSurrogateQuotaBounds(t *testing.T) {
+	params := DefaultParams(40, 10, 1)
+	params.Surrogate = SurrogateParams{Enabled: true, Fraction: 0.5}
+	if q := surrogateQuota(params); q != 20 {
+		t.Fatalf("quota %d, want 20", q)
+	}
+	params.Surrogate.Fraction = 0.001
+	if q := surrogateQuota(params); q != 1 {
+		t.Fatalf("tiny fraction quota %d, want 1", q)
+	}
+	params.Surrogate.Fraction = 1
+	if q := surrogateQuota(params); q != params.PopSize {
+		t.Fatalf("full fraction quota %d, want %d", q, params.PopSize)
+	}
+}
+
+func TestScreenTopKeepsBestRanked(t *testing.T) {
+	// Four solutions: two on rank 0, two dominated. screenTop(2) must pick
+	// exactly the rank-0 pair.
+	mk := func(f1, f2 float64) *solution {
+		return &solution{eval: Evaluation{Objectives: []float64{f1, f2}}}
+	}
+	a, b := mk(0, 1), mk(1, 0)
+	c, d := mk(2, 2), mk(3, 3)
+	kept := screenTop([]*solution{c, a, d, b}, 2)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d, want 2", len(kept))
+	}
+	for _, s := range kept {
+		if s == c || s == d {
+			t.Fatal("screenTop kept a dominated solution")
+		}
+	}
+}
+
+func TestSurrogateRequiresProxyProblem(t *testing.T) {
+	p := &zdtProblem{n: 8, levels: 16}
+	params := DefaultParams(16, 4, 1)
+	params.Surrogate = SurrogateParams{Enabled: true}
+	if _, err := Run(p, params, nil); err == nil || !strings.Contains(err.Error(), "proxy") {
+		t.Fatalf("want proxy-capability error, got %v", err)
+	}
+}
+
+func TestSurrogateRejectedOnMOEAD(t *testing.T) {
+	p := &surrogateZDT{zdtProblem{n: 8, levels: 16}}
+	params := DefaultParams(16, 4, 1)
+	params.Surrogate = SurrogateParams{Enabled: true}
+	if _, err := RunMOEAD(p, params, nil); err == nil {
+		t.Fatal("MOEA/D accepted surrogate screening")
+	}
+}
+
+// TestSurrogateFrontIsExact checks no reported front point carries a proxy
+// evaluation: every objective vector must match a fresh exact evaluation of
+// its genome bit-for-bit.
+func TestSurrogateFrontIsExact(t *testing.T) {
+	p := &surrogateZDT{zdtProblem{n: 10, levels: 32}}
+	params := DefaultParams(32, 20, 7)
+	params.Surrogate = SurrogateParams{Enabled: true, Fraction: 0.5}
+	res, err := Run(p, params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	for _, ind := range res.Front {
+		want := p.zdtProblem.Evaluate(ind.Genome)
+		for i, v := range ind.Objectives {
+			if v != want.Objectives[i] {
+				t.Fatalf("front point objective %d is %v, exact is %v (proxy leaked)", i, v, want.Objectives[i])
+			}
+		}
+	}
+	// Screening must actually have happened.
+	stats := SurrogateTotals()
+	if stats.Proxy == 0 || stats.Screened == 0 {
+		t.Fatalf("surrogate counters did not move: %+v", stats)
+	}
+}
+
+// TestSurrogateConvergesOnZDT checks screening still reaches the known
+// front region: the screened run's best f1+f2 sum should stay within 2x of
+// an exact run with the same budget of generations.
+func TestSurrogateConvergesOnZDT(t *testing.T) {
+	best := func(front []Solution) float64 {
+		b := math.Inf(1)
+		for _, ind := range front {
+			s := ind.Objectives[0] + ind.Objectives[1]
+			if s < b {
+				b = s
+			}
+		}
+		return b
+	}
+	p := &surrogateZDT{zdtProblem{n: 10, levels: 32}}
+	params := DefaultParams(40, 30, 3)
+	exact, err := Run(&p.zdtProblem, params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params.Surrogate = SurrogateParams{Enabled: true, Fraction: 0.5}
+	screened, err := Run(p, params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, bs := best(exact.Front), best(screened.Front)
+	if bs > 2*be+0.2 {
+		t.Fatalf("screened best %v too far behind exact best %v", bs, be)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/markov"
 )
@@ -286,18 +287,43 @@ type TaskReliability struct {
 	ErrProb float64
 }
 
-// chainScratch is the reusable working set of one AnalyzeChains call: a
-// chain rebuilt (via Reset) for each of the two models and the per-interval
-// state-handle buffer. Pooled so the task-metric hot path builds both
-// chains without allocating their storage.
+// chainScratch is the reusable working set of one AnalyzeChains call: one
+// chain per model (both alive at once so they can be analyzed as a pair)
+// and the per-interval state-handle buffer. Pooled so the task-metric hot
+// path builds both chains without allocating their storage.
 type chainScratch struct {
-	chain      *markov.Chain
-	execStates []int
+	timing, functional *markov.Chain
+	execStates         []int
 }
 
 var chainPool = sync.Pool{New: func() any {
-	return &chainScratch{chain: markov.New()}
+	return &chainScratch{timing: markov.New(), functional: markov.New()}
 }}
+
+// pairSolveTotals counts, process-wide, how many timing/functional chain
+// pairs were answered with one shared factorization (paired) versus two
+// independent solves (solo). Checkpoint-free configurations share; chains
+// with checkpoints have genuinely different transient systems and solve
+// separately.
+var pairSolveTotals struct {
+	paired, solo atomic.Uint64
+}
+
+// PairSolveStats reports the process-wide batched-chain-solve counters.
+type PairSolveStats struct {
+	// Paired counts chain pairs solved through one shared factorization;
+	// Solo counts pairs that fell back to two independent solves.
+	Paired, Solo uint64
+}
+
+// PairSolveTotals returns the accumulated counters of AnalyzeChains' paired
+// solving, the source of the eval_accel gauges in clrearlyd's /metrics.
+func PairSolveTotals() PairSolveStats {
+	return PairSolveStats{
+		Paired: pairSolveTotals.paired.Load(),
+		Solo:   pairSolveTotals.solo.Load(),
+	}
+}
 
 // growInts returns s resized to n entries, reusing capacity.
 func growInts(s []int, n int) []int {
@@ -308,32 +334,38 @@ func growInts(s []int, n int) []int {
 }
 
 // AnalyzeChains builds and solves both chains of Fig. 3 for the parameters.
+// The two chains are analyzed as a pair: checkpoint-free configurations
+// have bit-identical (I − Q)ᵀ systems for the timing and functional models,
+// so one LU factorization and one solve answer both (markov.AnalyzePair
+// verifies the sharing bitwise; results are exactly those of two
+// independent analyses).
 func AnalyzeChains(p ChainParams) (TaskReliability, error) {
 	var out TaskReliability
 	sc := chainPool.Get().(*chainScratch)
 	defer chainPool.Put(sc)
 	sc.execStates = growInts(sc.execStates, p.Checkpoints+1)
 
-	tc := sc.chain
+	tc := sc.timing
 	tc.Reset()
 	if err := buildTimingChainInto(tc, sc.execStates, p); err != nil {
 		return out, err
 	}
-	tr, err := tc.Analyze()
-	if err != nil {
-		return out, fmt.Errorf("relmodel: timing chain: %w", err)
-	}
-	out.AvgExTimeUS = tr.ExpectedTime
-
-	fc := sc.chain
+	fc := sc.functional
 	fc.Reset()
 	if err := buildFunctionalChainInto(fc, sc.execStates, p); err != nil {
 		return out, err
 	}
-	fr, err := fc.Analyze()
+	tr, fr, shared, err := markov.AnalyzePair(tc, fc)
 	if err != nil {
-		return out, fmt.Errorf("relmodel: functional chain: %w", err)
+		return out, fmt.Errorf("relmodel: chain analysis: %w", err)
 	}
+	if shared {
+		pairSolveTotals.paired.Add(1)
+	} else {
+		pairSolveTotals.solo.Add(1)
+	}
+	out.AvgExTimeUS = tr.ExpectedTime
+
 	pErr, ok := fc.AbsorptionProbability(fr, "Error")
 	if !ok {
 		return out, fmt.Errorf("relmodel: functional chain lacks Error state")

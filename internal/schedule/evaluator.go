@@ -135,6 +135,18 @@ func (ev *Evaluator) heapPop() int32 {
 	return top
 }
 
+// SeqTimes is the replay artifact of one schedule evaluation: the tasks in
+// scheduling (pop) order plus every task's start and end time, the state
+// RunWithCommDelta needs to reuse a neighbor schedule's prefix. Seq depends
+// only on the graph and the priority permutation — never on the decisions —
+// while StartUS/EndUS are task-indexed times of the captured run. Captured
+// values may be shared between evaluations and must be treated as
+// immutable.
+type SeqTimes struct {
+	Seq            []int32
+	StartUS, EndUS []float64
+}
+
 // Run evaluates the schedule into the Evaluator's buffers; see the package
 // Run for semantics.
 func (ev *Evaluator) Run(g *taskgraph.Graph, p *platform.Platform, priority []int, decisions []TaskDecision) (*Result, error) {
@@ -148,6 +160,13 @@ func (ev *Evaluator) Run(g *taskgraph.Graph, p *platform.Platform, priority []in
 // list — same task order as the rescan ("among eligible tasks, the one
 // earliest in priority order"), identical floats.
 func (ev *Evaluator) RunWithComm(g *taskgraph.Graph, p *platform.Platform, priority []int, decisions []TaskDecision, comm CommModel) (*Result, error) {
+	return ev.RunWithCommCapture(g, p, priority, decisions, comm, nil)
+}
+
+// prep validates the inputs and resets the result and per-PE buffers — the
+// shared prologue of the full and delta scheduling paths, so both report
+// identical errors and start from identical state.
+func (ev *Evaluator) prep(g *taskgraph.Graph, p *platform.Platform, priority []int, decisions []TaskDecision, comm CommModel) (*Result, error) {
 	n := g.NumTasks()
 	if len(priority) != n {
 		return nil, fmt.Errorf("schedule: priority has %d entries, want %d", len(priority), n)
@@ -199,6 +218,22 @@ func (ev *Evaluator) RunWithComm(g *taskgraph.Graph, p *platform.Platform, prior
 		res.PEMemKB[d.PE] += d.MemKB
 	}
 	ev.peFree = growF(ev.peFree, p.NumPEs())
+	return res, nil
+}
+
+// RunWithCommCapture is RunWithComm that optionally records the replay
+// artifact — the pop order and the per-task times — into capture, whose
+// buffers are overwritten (capacity reused). Passing nil capture is exactly
+// RunWithComm.
+func (ev *Evaluator) RunWithCommCapture(g *taskgraph.Graph, p *platform.Platform, priority []int, decisions []TaskDecision, comm CommModel, capture *SeqTimes) (*Result, error) {
+	n := g.NumTasks()
+	res, err := ev.prep(g, p, priority, decisions, comm)
+	if err != nil {
+		return nil, err
+	}
+	if capture != nil {
+		capture.Seq = capture.Seq[:0]
+	}
 	ev.indeg = growI32(ev.indeg, n)
 	ev.heap = ev.heap[:0]
 	for t := 0; t < n; t++ {
@@ -210,6 +245,9 @@ func (ev *Evaluator) RunWithComm(g *taskgraph.Graph, p *platform.Platform, prior
 	scheduled := 0
 	for len(ev.heap) > 0 {
 		t := priority[ev.heapPop()]
+		if capture != nil {
+			capture.Seq = append(capture.Seq, int32(t))
+		}
 		readyAt := 0.0
 		for _, pr := range g.Preds(t) {
 			at := res.EndUS[pr]
@@ -239,6 +277,91 @@ func (ev *Evaluator) RunWithComm(g *taskgraph.Graph, p *platform.Platform, prior
 		// Unreachable for valid DAGs: some task always becomes ready.
 		return nil, fmt.Errorf("schedule: deadlock — no eligible task (cyclic dependencies?)")
 	}
+	if capture != nil {
+		capture.StartUS = append(capture.StartUS[:0], res.StartUS...)
+		capture.EndUS = append(capture.EndUS[:0], res.EndUS...)
+	}
+	ev.finish(g, p, decisions, res)
+	return res, nil
+}
+
+// RunWithCommDelta re-evaluates a schedule that differs from a previously
+// captured run only at tasks with changed[t] set, for the same graph and
+// the same priority permutation. The list scheduler's pop sequence depends
+// only on (graph, priority) — "among ready tasks, the one earliest in
+// priority order" never consults decisions or times — so prev.Seq is
+// replayed directly: pops before the first changed task copy the captured
+// start/end times bit for bit (re-deriving the per-PE free times and busy
+// sums in the same order), later pops recompute with the operation
+// sequence of RunWithCommCapture. The result is bit-identical to a full
+// run on the same inputs. capture, when non-nil, records the new times;
+// its Seq aliases prev.Seq.
+func (ev *Evaluator) RunWithCommDelta(g *taskgraph.Graph, p *platform.Platform, priority []int, decisions []TaskDecision, comm CommModel, prev *SeqTimes, changed []bool, capture *SeqTimes) (*Result, error) {
+	n := g.NumTasks()
+	res, err := ev.prep(g, p, priority, decisions, comm)
+	if err != nil {
+		return nil, err
+	}
+	if len(prev.Seq) != n || len(prev.StartUS) != n || len(prev.EndUS) != n {
+		return nil, fmt.Errorf("schedule: replay state for %d tasks, want %d", len(prev.Seq), n)
+	}
+	if len(changed) != n {
+		return nil, fmt.Errorf("schedule: changed mask has %d entries, want %d", len(changed), n)
+	}
+	k := n
+	for i, t := range prev.Seq {
+		if changed[t] {
+			k = i
+			break
+		}
+	}
+	// Prefix replay: decisions are unchanged up to pop k, so the captured
+	// times are the times; per-PE free times and busy sums re-accumulate in
+	// pop order, reproducing the full run's intermediate state bit for bit.
+	for i := 0; i < k; i++ {
+		t := int(prev.Seq[i])
+		d := decisions[t]
+		end := prev.EndUS[t]
+		res.StartUS[t] = prev.StartUS[t]
+		res.EndUS[t] = end
+		ev.peFree[d.PE] = end
+		res.PEBusyUS[d.PE] += d.Metrics.AvgExTimeUS
+	}
+	// Affected suffix: recompute with the exact operation sequence of the
+	// full path, iterating the replayed pop order instead of the heap.
+	for i := k; i < n; i++ {
+		t := int(prev.Seq[i])
+		readyAt := 0.0
+		for _, pr := range g.Preds(t) {
+			at := res.EndUS[pr]
+			if comm.enabled() && decisions[pr].PE != decisions[t].PE {
+				at += comm.Delay(ev.edgeKB[[2]int{pr, t}])
+			}
+			if at > readyAt {
+				readyAt = at
+			}
+		}
+		d := decisions[t]
+		start := math.Max(readyAt, ev.peFree[d.PE])
+		end := start + d.Metrics.AvgExTimeUS
+		res.StartUS[t] = start
+		res.EndUS[t] = end
+		ev.peFree[d.PE] = end
+		res.PEBusyUS[d.PE] += d.Metrics.AvgExTimeUS
+	}
+	if capture != nil {
+		capture.Seq = prev.Seq
+		capture.StartUS = append(capture.StartUS[:0], res.StartUS...)
+		capture.EndUS = append(capture.EndUS[:0], res.EndUS...)
+	}
+	ev.finish(g, p, decisions, res)
+	return res, nil
+}
+
+// finish derives the Eq. 1–4 aggregates from the scheduled times — the
+// shared epilogue of the full and delta paths.
+func (ev *Evaluator) finish(g *taskgraph.Graph, p *platform.Platform, decisions []TaskDecision, res *Result) {
+	n := g.NumTasks()
 
 	// Eq. 1 — average makespan.
 	for _, e := range res.EndUS {
@@ -293,5 +416,4 @@ func (ev *Evaluator) RunWithComm(g *taskgraph.Graph, p *platform.Platform, prior
 			res.PeakPowerW = cur
 		}
 	}
-	return res, nil
 }

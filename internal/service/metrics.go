@@ -106,6 +106,7 @@ type MetricsWire struct {
 	Queue   QueueWire                `json:"queue"`
 	Cache   CacheWire                `json:"cache"`
 	Fitness FitnessWire              `json:"fitness_cache"`
+	Accel   EvalAccelWire            `json:"eval_accel"`
 	Latency map[string]HistogramWire `json:"latency_ms"`
 	// Store gauges are present when the service runs with a durable store.
 	Store *StoreWire `json:"store,omitempty"`
@@ -162,6 +163,32 @@ type FitnessWire struct {
 	Bypasses  uint64  `json:"bypasses"`
 	Evictions uint64  `json:"evictions"`
 	HitRate   float64 `json:"hit_rate"`
+}
+
+// EvalAccelWire reports the process-wide evaluation-acceleration counters
+// accumulated across every job's DSE instance (see core.AccelTotals):
+// delta-evaluation reuse, surrogate screening, and batched chain solving.
+type EvalAccelWire struct {
+	// DeltaParentReuse counts offspring whose fitness was returned
+	// verbatim from the parent (no gene changed the canonical key).
+	DeltaParentReuse uint64 `json:"delta_parent_reuse"`
+	// DeltaPrefixRuns counts delta evaluations that replayed a parent's
+	// schedule prefix; DeltaFullRuns fell back to a full list schedule.
+	DeltaPrefixRuns uint64 `json:"delta_prefix_runs"`
+	DeltaFullRuns   uint64 `json:"delta_full_runs"`
+	// MetricsReused counts per-task metric decodes skipped because the
+	// gene was unchanged from the parent.
+	MetricsReused uint64 `json:"metrics_reused"`
+	// BatchWarmed counts metric-cache entries pre-warmed in deduplicated
+	// generation batches before workers fanned out.
+	BatchWarmed uint64 `json:"batch_warmed"`
+	// ProxyEvals and ScreenedOut report surrogate screening volume.
+	ProxyEvals  uint64 `json:"proxy_evals"`
+	ScreenedOut uint64 `json:"screened_out"`
+	// PairedSolves counts absorbing-chain pairs solved with one shared
+	// factorization (two RHS per solve); SoloSolves went one-by-one.
+	PairedSolves uint64 `json:"paired_solves"`
+	SoloSolves   uint64 `json:"solo_solves"`
 }
 
 // snapshot captures the counter-side metrics; the server fills in the

@@ -593,6 +593,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Evictions: ft.Evictions,
 		HitRate:   ft.HitRate(),
 	}
+	at := core.AccelTotals()
+	m.Accel = EvalAccelWire{
+		DeltaParentReuse: at.DeltaParentReuse,
+		DeltaPrefixRuns:  at.DeltaPrefixRuns,
+		DeltaFullRuns:    at.DeltaFullRuns,
+		MetricsReused:    at.MetricsReused,
+		BatchWarmed:      at.BatchWarmed,
+		ProxyEvals:       at.ProxyEvals,
+		ScreenedOut:      at.ScreenedOut,
+		PairedSolves:     at.PairedSolves,
+		SoloSolves:       at.SoloSolves,
+	}
 	if st := s.cfg.Store; st != nil {
 		sw := StoreWire(st.Stats())
 		m.Store = &sw

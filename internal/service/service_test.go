@@ -66,6 +66,96 @@ func TestSpecHashCanonical(t *testing.T) {
 	}
 }
 
+func TestSpecSurrogateNormalization(t *testing.T) {
+	s := JobSpec{Surrogate: true}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.SurrogateFraction != 0.5 {
+		t.Fatalf("default surrogate fraction %v, want 0.5", s.SurrogateFraction)
+	}
+	bad := []JobSpec{
+		{Surrogate: true, Engine: "moead"},
+		{Surrogate: true, SurrogateFraction: -0.1},
+		{Surrogate: true, SurrogateFraction: 1.5},
+		{SurrogateFraction: 0.5}, // fraction without the opt-in
+	}
+	for i, s := range bad {
+		if err := s.Normalize(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, s)
+		}
+	}
+	// The acceleration knobs are part of the job identity.
+	base := JobSpec{App: "sobel", Pop: 16, Gens: 6, Seed: 3}
+	if err := base.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	nd := base
+	nd.NoDelta = true
+	if nd.Hash() == base.Hash() {
+		t.Fatal("no_delta must change the job hash")
+	}
+	sur := base
+	sur.Surrogate = true
+	if err := sur.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if sur.Hash() == base.Hash() {
+		t.Fatal("surrogate must change the job hash")
+	}
+}
+
+// TestExecuteNoDeltaByteIdentical pins the spec-level exactness guarantee:
+// a job with no_delta set returns the same front as the default
+// delta-evaluated run, bit for bit.
+func TestExecuteNoDeltaByteIdentical(t *testing.T) {
+	run := func(noDelta bool) *FrontWire {
+		spec := JobSpec{App: "sobel", Method: "proposed", Pop: 16, Gens: 6, Seed: 11, NoDelta: noDelta}
+		if err := spec.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		front, err := Execute(context.Background(), &spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FrontToWire(front)
+	}
+	on, off := run(false), run(true)
+	if len(on.Points) != len(off.Points) {
+		t.Fatalf("front sizes differ: %d vs %d", len(on.Points), len(off.Points))
+	}
+	for i := range on.Points {
+		a, b := on.Points[i], off.Points[i]
+		for j := range a.Objectives {
+			if a.Objectives[j] != b.Objectives[j] {
+				t.Fatalf("point %d objective %d differs: %v vs %v", i, j, a.Objectives[j], b.Objectives[j])
+			}
+		}
+	}
+}
+
+// TestExecuteSurrogateProducesExactFront checks a surrogate-screened job
+// runs end to end through the service and reports a structurally valid,
+// exactly-evaluated front.
+func TestExecuteSurrogateProducesExactFront(t *testing.T) {
+	spec := JobSpec{App: "sobel", Method: "fcclr", Pop: 16, Gens: 6, Seed: 7, Surrogate: true}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	front, err := Execute(context.Background(), &spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front.Points) == 0 {
+		t.Fatal("surrogate job produced empty front")
+	}
+	for _, p := range front.Points {
+		if p.Objectives[0] != p.QoS.MakespanUS {
+			t.Fatal("surrogate front point is not exactly evaluated")
+		}
+	}
+}
+
 func TestSpecTotalGenerations(t *testing.T) {
 	cases := map[string]int{"proposed": 20, "agnostic": 40, "fcclr": 10, "pfclr": 10}
 	for method, want := range cases {

@@ -78,6 +78,16 @@ type JobSpec struct {
 	CommPerKBUS   float64 `json:"comm_per_kb_us,omitempty"`
 	// EnforceMemory enables the per-PE local-memory storage constraint.
 	EnforceMemory bool `json:"enforce_memory,omitempty"`
+	// NoDelta disables incremental (delta) fitness evaluation. Results are
+	// byte-identical either way — the switch exists for measurement — but it
+	// is part of the spec hash because it selects a different computation.
+	NoDelta bool `json:"no_delta,omitempty"`
+	// Surrogate enables surrogate screening (NSGA-II engine only):
+	// per generation only SurrogateFraction of the population budget is
+	// fully evaluated, ranked by a cheap proxy; the reported front is still
+	// exact. SurrogateFraction defaults to 0.5 and must lie in (0,1].
+	Surrogate         bool    `json:"surrogate,omitempty"`
+	SurrogateFraction float64 `json:"surrogate_fraction,omitempty"`
 }
 
 var systemObjectiveNames = map[string]core.SystemObjective{
@@ -224,6 +234,19 @@ func (s *JobSpec) Normalize() error {
 	if s.Constraints.MinFunctionalRel > 1 {
 		return fmt.Errorf("service: min_functional_rel = %v outside [0,1]", s.Constraints.MinFunctionalRel)
 	}
+	if s.Surrogate {
+		if s.Engine == "moead" {
+			return fmt.Errorf("service: surrogate screening requires the nsga2 engine")
+		}
+		if s.SurrogateFraction == 0 {
+			s.SurrogateFraction = 0.5
+		}
+		if math.IsNaN(s.SurrogateFraction) || s.SurrogateFraction <= 0 || s.SurrogateFraction > 1 {
+			return fmt.Errorf("service: surrogate_fraction = %v outside (0,1]", s.SurrogateFraction)
+		}
+	} else if s.SurrogateFraction != 0 {
+		return fmt.Errorf("service: surrogate_fraction requires surrogate")
+	}
 	return nil
 }
 
@@ -355,6 +378,10 @@ func ExecuteOnHooks(ctx context.Context, inst *core.Instance, flib *tdse.Library
 		Progress:        hooks.Progress,
 		Checkpoint:      hooks.Checkpoint,
 		CheckpointEvery: hooks.CheckpointEvery,
+		DisableDelta:    s.NoDelta,
+	}
+	if s.Surrogate {
+		cfg.SurrogateFraction = s.SurrogateFraction
 	}
 	if s.Engine == "moead" {
 		cfg.Engine = core.MOEAD
