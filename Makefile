@@ -1,7 +1,7 @@
 GO ?= go
 PORT ?= 8080
 
-.PHONY: build test vet race fuzz-smoke validate-quick bench bench-sweep bench-snapshot bench-compare quick full serve
+.PHONY: build test vet race fuzz-smoke loadtest validate-quick bench bench-sweep bench-snapshot bench-compare quick full serve
 
 build:
 	$(GO) build ./...
@@ -15,18 +15,29 @@ vet:
 # Race-check the concurrency-bearing packages: the sweep executor, the
 # shared metrics cache in core, the GA evaluate workers in moea, the
 # job-queue service, the durable store, the distributed sweep coordinator,
-# and the batched chain-solve path (relmodel/markov/matrix) plus the HEFT
-# bound shared by the surrogate proxy.
+# the fleet gateway, and the batched chain-solve path
+# (relmodel/markov/matrix) plus the HEFT bound shared by the surrogate
+# proxy.
 race:
-	$(GO) vet ./... && $(GO) test -race ./internal/sweep ./internal/core ./internal/moea ./internal/service ./internal/store ./internal/dist ./internal/heft ./internal/relmodel ./internal/markov ./internal/matrix
+	$(GO) vet ./... && $(GO) test -race ./internal/sweep ./internal/core ./internal/moea ./internal/service ./internal/store ./internal/dist ./internal/gateway ./internal/heft ./internal/relmodel ./internal/markov ./internal/matrix
 
 # Short continuous-fuzzing pass over the input-parsing surfaces: the TGFF
-# text parser, the JobSpec normalizer and the WAL replayer. Each target
-# gets 10s on top of the checked-in corpus under testdata/fuzz/.
+# text parser, the JobSpec normalizer, the WAL replayer and the gateway
+# tenant-config parser. Each target gets 10s on top of the checked-in
+# corpus under testdata/fuzz/.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzParseText -fuzztime 10s ./internal/tgff
 	$(GO) test -run xxx -fuzz FuzzNormalize -fuzztime 10s ./internal/service
 	$(GO) test -run xxx -fuzz FuzzWALReplay -fuzztime 10s ./internal/store
+	$(GO) test -run xxx -fuzz FuzzParseTenants -fuzztime 10s ./internal/gateway
+
+# SLO load harness: drive an in-process 2-worker fleet through the
+# gateway for 30s of deterministic duplicate-heavy traffic and gate on
+# admission P99 and zero 5xx responses. The JSON report lands in /tmp so
+# the committed BENCH_GW_*.json artifacts stay untouched.
+loadtest:
+	$(GO) run ./cmd/loadgen -inprocess 2 -duration 30s -rate 20 -seed 1 \
+		-profile dedup-heavy -max-p99 2s -max-5xx 0 -out /tmp/loadtest.json
 
 # Quick statistical cross-validation of the analytical models against the
 # fault-injection simulator (a reduced-trial version of cmd/validate).

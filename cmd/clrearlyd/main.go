@@ -8,7 +8,14 @@
 //
 //	clrearlyd [-addr :8080] [-workers N] [-queue N] [-cache N] [-drain 30s]
 //	          [-store DIR] [-fsync always|interval|never] [-checkpoint-every K]
-//	          [-pprof addr]
+//	          [-pprof addr] [-worker-token TOK] [-max-body N]
+//	          [-gateway URL] [-worker-name NAME]
+//
+// With -gateway the daemon additionally joins a clrearlygw fleet: it
+// long-polls the gateway for job leases, executes them locally, and
+// streams progress and results back, while still serving its own API.
+// -worker-token then does double duty — it locks the local job API and
+// authenticates the agent to the gateway.
 //
 // With -store the daemon is durable: accepted jobs and finished results are
 // journaled to a write-ahead log under DIR, GA runs checkpoint every K
@@ -50,6 +57,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/gateway"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -73,6 +81,12 @@ func run(args []string) error {
 	ckptEvery := fs.Int("checkpoint-every", core.DefaultCheckpointEvery,
 		"GA generations between durable run checkpoints (with -store)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
+	workerToken := fs.String("worker-token", "",
+		"bearer token required on the job API (and presented to -gateway); empty = open")
+	maxBody := fs.Int64("max-body", 1<<20, "POST /v1/jobs body size cap in bytes (negative = unbounded)")
+	gatewayURL := fs.String("gateway", "",
+		"lease work from this clrearlygw gateway in addition to serving the local API")
+	workerName := fs.String("worker-name", "", "worker name advertised to the gateway (default host:pid)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,6 +107,8 @@ func run(args []string) error {
 		Workers:         *workers,
 		CacheCap:        *cacheCap,
 		CheckpointEvery: *ckptEvery,
+		AuthToken:       *workerToken,
+		MaxBodyBytes:    *maxBody,
 	}
 	if *storeDir != "" {
 		policy, err := store.ParseSyncPolicy(*fsyncMode)
@@ -123,6 +139,28 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var agent *gateway.Agent
+	if *gatewayURL != "" {
+		name := *workerName
+		if name == "" {
+			host, _ := os.Hostname()
+			name = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		agent, err = gateway.NewAgent(gateway.AgentConfig{
+			Gateway: *gatewayURL,
+			Token:   *workerToken,
+			Name:    name,
+			Addr:    "http://" + ln.Addr().String(),
+		})
+		if err != nil {
+			return err
+		}
+		go func() {
+			log.Printf("leasing work from gateway %s as %q", *gatewayURL, name)
+			agent.Run(ctx)
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("clrearlyd listening on %s (workers=%d queue=%d cache=%d)",
@@ -136,6 +174,9 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 	log.Printf("shutting down: draining running jobs (deadline %s)", *drain)
+	if agent != nil {
+		agent.Stop() // abandon any held lease so the gateway redelivers it
+	}
 	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

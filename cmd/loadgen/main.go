@@ -1,0 +1,431 @@
+// Command loadgen is the gateway's SLO harness: a deterministic open-loop
+// traffic generator that drives a clrearlygw fleet and reports admission
+// latency percentiles, throughput, fleet-level dedup hit rate and SSE
+// fan-out, writing the results as a JSON benchmark artifact.
+//
+// The entire request stream — Poisson arrival times, spec mix, tenant mix,
+// which requests attach an SSE subscriber — is precomputed from -seed, so
+// two runs with the same configuration issue byte-identical schedules
+// (compare the schedule_hash field). Arrivals are open-loop: requests fire
+// at their scheduled instant regardless of how the fleet is coping, which
+// is what makes the latency percentiles an SLO measurement rather than a
+// self-throttling one.
+//
+// Usage:
+//
+//	loadgen -inprocess 2 [-seed 1] [-rate 20] [-duration 10s]
+//	        [-profile dedup-heavy|mixed|unique] [-sse-frac 0.25]
+//	        [-out BENCH_GW_PR7.json] [-max-p99 2s] [-max-5xx 0]
+//
+//	loadgen -gateway http://host:8081 -keys KEY1,KEY2,KEY3 ...
+//
+// -inprocess N spins up a full fleet in this process — gateway plus N
+// worker agents running the real DSE solver — which is what `make
+// loadtest` uses; -gateway targets an already-running control plane. The
+// -max-p99 / -max-5xx gates turn the report into a pass/fail check.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// benchReport is the JSON artifact (BENCH_GW_PR7.json).
+type benchReport struct {
+	Name        string       `json:"name"`
+	GeneratedAt time.Time    `json:"generated_at"`
+	Config      reportConfig `json:"config"`
+
+	Schedule struct {
+		Requests    int    `json:"requests"`
+		UniqueSpecs int    `json:"unique_specs"`
+		Hash        string `json:"schedule_hash"`
+	} `json:"schedule"`
+
+	Traffic struct {
+		Accepted        int     `json:"accepted"`         // 202: queued or attached
+		CacheServed     int     `json:"cache_served"`     // 200: front straight from cache
+		Rejected429     int     `json:"rejected_429"`     // rate/quota/backpressure
+		RejectedOther   int     `json:"rejected_other"`   // 4xx other than 429
+		Errors5xx       int     `json:"errors_5xx"`       // the zero-5xx gate watches this
+		TransportErrors int     `json:"transport_errors"` // connection-level failures
+		P50MS           float64 `json:"p50_ms"`
+		P99MS           float64 `json:"p99_ms"`
+		JobsPerSec      float64 `json:"jobs_per_sec"` // accepted+served over the arrival window
+	} `json:"traffic"`
+
+	Fleet struct {
+		Admitted  int64             `json:"admitted"` // jobs that became fleet work
+		Completed int64             `json:"completed"`
+		Failed    int64             `json:"failed"`
+		Cancelled int64             `json:"cancelled"`
+		DrainSec  float64           `json:"drain_sec"` // arrival window end → last terminal
+		Dedup     gateway.DedupWire `json:"dedup"`
+	} `json:"fleet"`
+
+	SSE struct {
+		Subscribers int `json:"subscribers"`
+		Events      int `json:"events"`
+	} `json:"sse"`
+
+	Gates struct {
+		MaxP99MS float64 `json:"max_p99_ms,omitempty"`
+		Max5xx   int     `json:"max_5xx"`
+		Pass     bool    `json:"pass"`
+	} `json:"gates"`
+}
+
+type reportConfig struct {
+	Seed      int64   `json:"seed"`
+	Rate      float64 `json:"rate_per_sec"`
+	Duration  string  `json:"duration"`
+	Profile   string  `json:"profile"`
+	SSEFrac   float64 `json:"sse_frac"`
+	Tenants   int     `json:"tenants"`
+	InProcess int     `json:"inprocess_workers,omitempty"`
+	Gateway   string  `json:"gateway,omitempty"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	gatewayURL := fs.String("gateway", "", "target an already-running gateway at this base URL")
+	keys := fs.String("keys", "", "comma-separated tenant API keys for -gateway mode")
+	inprocess := fs.Int("inprocess", 0, "spin up an in-process fleet with this many workers instead of -gateway")
+	seed := fs.Int64("seed", 1, "schedule seed; equal seeds produce byte-identical request streams")
+	rate := fs.Float64("rate", 20, "mean arrival rate, jobs/sec (Poisson)")
+	duration := fs.Duration("duration", 10*time.Second, "arrival window")
+	profile := fs.String("profile", "dedup-heavy", "spec mix: dedup-heavy, mixed or unique")
+	sseFrac := fs.Float64("sse-frac", 0.25, "fraction of requests that also subscribe to /events")
+	out := fs.String("out", "BENCH_GW_PR7.json", "benchmark artifact path (empty = stdout only)")
+	drain := fs.Duration("drain", 60*time.Second, "post-window deadline for the fleet to finish admitted jobs")
+	maxP99 := fs.Duration("max-p99", 0, "fail unless admission P99 is within this bound (0 = no gate)")
+	max5xx := fs.Int("max-5xx", -1, "fail when 5xx responses exceed this count (-1 = no gate)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*gatewayURL == "") == (*inprocess == 0) {
+		return fmt.Errorf("exactly one of -gateway or -inprocess is required")
+	}
+
+	var apiKeys []string
+	base := *gatewayURL
+	if *inprocess > 0 {
+		fleet, err := startFleet(*inprocess)
+		if err != nil {
+			return err
+		}
+		defer fleet.stop()
+		base = fleet.url
+		apiKeys = fleet.keys
+	} else {
+		base = strings.TrimRight(base, "/")
+		for _, k := range strings.Split(*keys, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				apiKeys = append(apiKeys, k)
+			}
+		}
+		if len(apiKeys) == 0 {
+			return fmt.Errorf("-gateway mode needs -keys")
+		}
+	}
+
+	reqs, err := buildSchedule(scheduleConfig{
+		Seed: *seed, Rate: *rate, Duration: *duration,
+		Profile: *profile, Tenants: len(apiKeys), SSEFrac: *sseFrac,
+	})
+	if err != nil {
+		return err
+	}
+	rep := &benchReport{Name: "gateway-loadgen", GeneratedAt: time.Now().UTC()}
+	rep.Config = reportConfig{
+		Seed: *seed, Rate: *rate, Duration: duration.String(), Profile: *profile,
+		SSEFrac: *sseFrac, Tenants: len(apiKeys), InProcess: *inprocess, Gateway: *gatewayURL,
+	}
+	rep.Schedule.Requests = len(reqs)
+	rep.Schedule.UniqueSpecs = uniqueHashes(reqs)
+	rep.Schedule.Hash = scheduleHash(reqs)
+	log.Printf("schedule: %d requests over %s, %d unique specs, hash %s",
+		len(reqs), *duration, rep.Schedule.UniqueSpecs, rep.Schedule.Hash)
+
+	before, err := fetchMetrics(base)
+	if err != nil {
+		return fmt.Errorf("gateway unreachable: %w", err)
+	}
+
+	client := &http.Client{}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		sseEvents int
+		sseSubs   int
+		wg        sync.WaitGroup
+		sseWG     sync.WaitGroup
+	)
+	sseCtx, sseCancel := context.WithTimeout(context.Background(), *duration+*drain)
+	defer sseCancel()
+
+	start := time.Now()
+	for i := range reqs {
+		r := &reqs[i]
+		time.Sleep(time.Until(start.Add(r.Offset))) // open loop: fire on schedule
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := client.Do(submitReq(base, apiKeys[r.Tenant], r.Body))
+			lat := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			latencies = append(latencies, lat)
+			if err != nil {
+				rep.Traffic.TransportErrors++
+				return
+			}
+			defer resp.Body.Close()
+			var jw service.JobWire
+			id := ""
+			if json.NewDecoder(resp.Body).Decode(&jw) == nil {
+				id = jw.ID
+			}
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				rep.Traffic.CacheServed++
+			case resp.StatusCode == http.StatusAccepted:
+				rep.Traffic.Accepted++
+			case resp.StatusCode == http.StatusTooManyRequests:
+				rep.Traffic.Rejected429++
+			case resp.StatusCode >= 500:
+				rep.Traffic.Errors5xx++
+			default:
+				rep.Traffic.RejectedOther++
+			}
+			if r.SSE && id != "" && resp.StatusCode == http.StatusAccepted {
+				sseSubs++
+				sseWG.Add(1)
+				go func() {
+					defer sseWG.Done()
+					n := streamEvents(sseCtx, client, base, apiKeys[r.Tenant], id)
+					mu.Lock()
+					sseEvents += n
+					mu.Unlock()
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	window := time.Since(start)
+
+	// Drain: the window is over; wait for every admitted job to terminate.
+	drainStart := time.Now()
+	deadline := drainStart.Add(*drain)
+	var after gateway.MetricsWire
+	for {
+		after, err = fetchMetrics(base)
+		if err != nil {
+			return err
+		}
+		terminal := (after.Completed + after.Failed + after.Cancelled) -
+			(before.Completed + before.Failed + before.Cancelled)
+		if terminal >= after.Admitted-before.Admitted || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	sseWG.Wait()
+	sseCancel()
+
+	sort.Slice(latencies, func(i, k int) bool { return latencies[i] < latencies[k] })
+	rep.Traffic.P50MS = float64(percentile(latencies, 50).Microseconds()) / 1e3
+	rep.Traffic.P99MS = float64(percentile(latencies, 99).Microseconds()) / 1e3
+	rep.Traffic.JobsPerSec = float64(rep.Traffic.Accepted+rep.Traffic.CacheServed) / window.Seconds()
+	rep.Fleet.Admitted = after.Admitted - before.Admitted
+	rep.Fleet.Completed = after.Completed - before.Completed
+	rep.Fleet.Failed = after.Failed - before.Failed
+	rep.Fleet.Cancelled = after.Cancelled - before.Cancelled
+	rep.Fleet.DrainSec = time.Since(drainStart).Seconds()
+	rep.Fleet.Dedup = gateway.DedupWire{
+		InflightAttach: after.Dedup.InflightAttach - before.Dedup.InflightAttach,
+		CacheHits:      after.Dedup.CacheHits - before.Dedup.CacheHits,
+		StoreHits:      after.Dedup.StoreHits - before.Dedup.StoreHits,
+		Misses:         after.Dedup.Misses - before.Dedup.Misses,
+	}
+	if hits := rep.Fleet.Dedup.InflightAttach + rep.Fleet.Dedup.CacheHits + rep.Fleet.Dedup.StoreHits; hits+rep.Fleet.Dedup.Misses > 0 {
+		rep.Fleet.Dedup.HitRate = float64(hits) / float64(hits+rep.Fleet.Dedup.Misses)
+	}
+	rep.SSE.Subscribers = sseSubs
+	rep.SSE.Events = sseEvents
+
+	rep.Gates.Max5xx = *max5xx
+	rep.Gates.Pass = true
+	if *maxP99 > 0 {
+		rep.Gates.MaxP99MS = float64(maxP99.Microseconds()) / 1e3
+		if rep.Traffic.P99MS > rep.Gates.MaxP99MS {
+			rep.Gates.Pass = false
+		}
+	}
+	if *max5xx >= 0 && rep.Traffic.Errors5xx > *max5xx {
+		rep.Gates.Pass = false
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(blob))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		log.Printf("wrote %s", *out)
+	}
+	log.Printf("P50 %.2fms P99 %.2fms, %.1f jobs/s, dedup hit rate %.0f%%, %d SSE events to %d subscribers",
+		rep.Traffic.P50MS, rep.Traffic.P99MS, rep.Traffic.JobsPerSec,
+		rep.Fleet.Dedup.HitRate*100, rep.SSE.Events, rep.SSE.Subscribers)
+	if !rep.Gates.Pass {
+		return fmt.Errorf("gate failed: P99 %.2fms (max %.2fms), %d 5xx (max %d)",
+			rep.Traffic.P99MS, rep.Gates.MaxP99MS, rep.Traffic.Errors5xx, *max5xx)
+	}
+	return nil
+}
+
+func submitReq(base, key string, body []byte) *http.Request {
+	req, _ := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-API-Key", key)
+	return req
+}
+
+// streamEvents subscribes to one job's SSE stream and counts data frames
+// until the gateway closes it at the terminal event.
+func streamEvents(ctx context.Context, client *http.Client, base, key, id string) int {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return 0
+	}
+	req.Header.Set("X-API-Key", key)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	n := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "data:") {
+			n++
+		}
+	}
+	return n
+}
+
+func fetchMetrics(base string) (gateway.MetricsWire, error) {
+	var m gateway.MetricsWire
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return m, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return m, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	return m, json.NewDecoder(resp.Body).Decode(&m)
+}
+
+// fleet is the -inprocess mode: a gateway and N worker agents running the
+// real solver, all inside this process.
+type fleet struct {
+	url    string
+	keys   []string
+	gw     *gateway.Gateway
+	hs     *http.Server
+	agents []*gateway.Agent
+	wg     sync.WaitGroup
+	cancel context.CancelFunc
+}
+
+// fleetTenants is the in-process tenant table: one tenant per priority
+// class, rate-limited far above harness rates so the run measures gateway
+// latency, not admission rejections.
+var fleetTenants = []gateway.TenantConfig{
+	{Name: "alpha", Key: "alpha-key", RatePerSec: 500, Burst: 1000, MaxActive: -1, Priority: "high"},
+	{Name: "beta", Key: "beta-key", RatePerSec: 500, Burst: 1000, MaxActive: -1, Priority: "normal"},
+	{Name: "gamma", Key: "gamma-key", RatePerSec: 500, Burst: 1000, MaxActive: -1, Priority: "low"},
+}
+
+func startFleet(workers int) (*fleet, error) {
+	gw, err := gateway.New(gateway.Config{
+		Tenants:     fleetTenants,
+		WorkerToken: "fleet-token",
+		QueueCap:    4096,
+		LeaseTTL:    10 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		gw.Close()
+		return nil, err
+	}
+	f := &fleet{
+		url:  "http://" + ln.Addr().String(),
+		keys: []string{"alpha-key", "beta-key", "gamma-key"},
+		gw:   gw,
+		hs:   &http.Server{Handler: gw},
+	}
+	go f.hs.Serve(ln)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	for i := 0; i < workers; i++ {
+		a, err := gateway.NewAgent(gateway.AgentConfig{
+			Gateway:     f.url,
+			Token:       "fleet-token",
+			Name:        fmt.Sprintf("w%d", i),
+			PollTimeout: 500 * time.Millisecond,
+		})
+		if err != nil {
+			f.stop()
+			return nil, err
+		}
+		f.agents = append(f.agents, a)
+		f.wg.Add(1)
+		go func() { defer f.wg.Done(); a.Run(ctx) }()
+	}
+	log.Printf("in-process fleet up at %s with %d workers", f.url, workers)
+	return f, nil
+}
+
+func (f *fleet) stop() {
+	f.cancel()
+	for _, a := range f.agents {
+		a.Stop()
+	}
+	f.wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	f.hs.Shutdown(ctx)
+	f.gw.Close()
+}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/service"
+)
+
+// request is one scheduled submission: everything about it — arrival
+// offset, tenant, spec, whether an SSE subscriber attaches — is fixed at
+// schedule-build time, so a run's traffic is a pure function of the seed.
+type request struct {
+	Offset time.Duration
+	Tenant int // index into the key list
+	Spec   service.JobSpec
+	Hash   string // spec hash, for offline dedup accounting
+	Body   []byte // marshalled spec, as POSTed
+	SSE    bool
+}
+
+// scheduleConfig parameterizes the generator.
+type scheduleConfig struct {
+	Seed     int64
+	Rate     float64 // mean arrivals per second (Poisson process)
+	Duration time.Duration
+	Profile  string  // dedup-heavy, mixed or unique
+	Tenants  int     // tenant-key count to spread arrivals over
+	SSEFrac  float64 // fraction of requests that also subscribe to events
+}
+
+// tenantMix is the fixed traffic split across the first three tenants
+// (further tenants share the tail uniformly): the fleet's high-priority
+// tenant submits half the load.
+var tenantMix = []float64{0.5, 0.3, 0.2}
+
+// buildSchedule precomputes the full open-loop schedule. Inter-arrival
+// gaps are exponential (seeded Poisson process); spec and tenant draws
+// come from the same generator, so two runs with equal config produce
+// byte-identical schedules — verified by hash in the benchmark artifact.
+func buildSchedule(cfg scheduleConfig) ([]request, error) {
+	if cfg.Rate <= 0 || cfg.Duration <= 0 || cfg.Tenants < 1 {
+		return nil, fmt.Errorf("schedule needs positive rate, duration and tenants")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var reqs []request
+	uniqueSeed := int64(1000) // monotone seeds for the unique profile
+	for at := time.Duration(0); ; {
+		gap := time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second))
+		at += gap
+		if at >= cfg.Duration {
+			break
+		}
+		spec, err := specFor(cfg.Profile, rng, &uniqueSeed)
+		if err != nil {
+			return nil, err
+		}
+		body, err := json.Marshal(spec)
+		if err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, request{
+			Offset: at,
+			Tenant: drawTenant(rng, cfg.Tenants),
+			Spec:   spec,
+			Hash:   spec.Hash(),
+			Body:   body,
+			SSE:    rng.Float64() < cfg.SSEFrac,
+		})
+	}
+	return reqs, nil
+}
+
+// drawTenant picks a tenant index under tenantMix proportions.
+func drawTenant(rng *rand.Rand, n int) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, p := range tenantMix {
+		if i >= n {
+			break
+		}
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	if n <= len(tenantMix) {
+		return n - 1
+	}
+	// Tail tenants split the leftover mass uniformly.
+	extra := n - len(tenantMix)
+	return len(tenantMix) + rng.Intn(extra)
+}
+
+// dedupPool is the duplicate-heavy profile's whole spec universe: six
+// distinct tiny runs, so any nontrivial request count repeats them and the
+// fleet-level dedup rate climbs toward 1 - 6/requests.
+var dedupPool = []service.JobSpec{
+	{App: "sobel", Method: "fcclr", Pop: 8, Gens: 2, Seed: 1},
+	{App: "sobel", Method: "fcclr", Pop: 8, Gens: 2, Seed: 2},
+	{App: "sobel", Method: "fcclr", Pop: 8, Gens: 2, Seed: 3},
+	{App: "jpeg", Method: "fcclr", Pop: 8, Gens: 2, Seed: 1},
+	{App: "synthetic", Tasks: 10, Method: "fcclr", Pop: 8, Gens: 2, Seed: 1},
+	{App: "synthetic", Tasks: 10, Method: "fcclr", Pop: 8, Gens: 2, Seed: 2},
+}
+
+var mixedApps = []string{"sobel", "jpeg", "synthetic"}
+
+// specFor draws one spec under the named profile. All profiles use tiny
+// GA budgets (pop 8, 2 generations) so the harness measures the control
+// plane, not the solver.
+func specFor(profile string, rng *rand.Rand, uniqueSeed *int64) (service.JobSpec, error) {
+	var s service.JobSpec
+	switch profile {
+	case "dedup-heavy":
+		s = dedupPool[rng.Intn(len(dedupPool))]
+	case "mixed":
+		s = service.JobSpec{
+			App:    mixedApps[rng.Intn(len(mixedApps))],
+			Method: "fcclr",
+			Pop:    8,
+			Gens:   2,
+			Seed:   int64(1 + rng.Intn(32)),
+		}
+		if s.App == "synthetic" {
+			s.Tasks = 10
+		}
+	case "unique":
+		*uniqueSeed++
+		s = service.JobSpec{App: "sobel", Method: "fcclr", Pop: 8, Gens: 2, Seed: *uniqueSeed}
+	default:
+		return s, fmt.Errorf("unknown profile %q (want dedup-heavy, mixed or unique)", profile)
+	}
+	if err := s.Normalize(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// scheduleHash fingerprints a schedule: equal hashes mean byte-identical
+// request streams, which is the loadgen determinism contract.
+func scheduleHash(reqs []request) string {
+	h := sha256.New()
+	for _, r := range reqs {
+		fmt.Fprintf(h, "%d|%d|%t|%s\n", r.Offset.Nanoseconds(), r.Tenant, r.SSE, r.Body)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// uniqueHashes counts distinct spec hashes — the schedule's offline lower
+// bound on fleet work (everything above it is dedup opportunity).
+func uniqueHashes(reqs []request) int {
+	seen := make(map[string]struct{}, len(reqs))
+	for _, r := range reqs {
+		seen[r.Hash] = struct{}{}
+	}
+	return len(seen)
+}
+
+// percentile returns the p-th percentile (nearest-rank) of sorted samples.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterminism is the loadgen contract: equal configs produce
+// byte-identical request streams, different seeds different ones.
+func TestScheduleDeterminism(t *testing.T) {
+	cfg := scheduleConfig{Seed: 7, Rate: 50, Duration: 5 * time.Second, Profile: "dedup-heavy", Tenants: 3, SSEFrac: 0.25}
+	a, err := buildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if ha, hb := scheduleHash(a), scheduleHash(b); ha != hb {
+		t.Fatalf("same config, different schedules: %s != %s", ha, hb)
+	}
+	cfg.Seed = 8
+	c, err := buildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheduleHash(a) == scheduleHash(c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestScheduleProfiles checks each profile's dedup character and that
+// every generated spec is valid and fully precomputed.
+func TestScheduleProfiles(t *testing.T) {
+	base := scheduleConfig{Seed: 1, Rate: 100, Duration: 3 * time.Second, Tenants: 3, SSEFrac: 0.25}
+
+	for _, profile := range []string{"dedup-heavy", "mixed", "unique"} {
+		cfg := base
+		cfg.Profile = profile
+		reqs, err := buildSchedule(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reqs) < 50 {
+			t.Fatalf("%s: only %d requests from a 3s window at 100/s", profile, len(reqs))
+		}
+		uniq := uniqueHashes(reqs)
+		switch profile {
+		case "dedup-heavy":
+			if uniq > len(dedupPool) {
+				t.Fatalf("dedup-heavy: %d unique specs, want <= %d", uniq, len(dedupPool))
+			}
+			// The acceptance bar: a duplicate-heavy mix must offer the
+			// fleet at least 50% dedup opportunity.
+			if rate := 1 - float64(uniq)/float64(len(reqs)); rate < 0.5 {
+				t.Fatalf("dedup-heavy: only %.0f%% dedup opportunity", rate*100)
+			}
+		case "unique":
+			if uniq != len(reqs) {
+				t.Fatalf("unique: %d unique specs over %d requests", uniq, len(reqs))
+			}
+		}
+		for i, r := range reqs {
+			if len(r.Body) == 0 || r.Hash == "" {
+				t.Fatalf("%s: request %d not precomputed", profile, i)
+			}
+			if r.Tenant < 0 || r.Tenant >= cfg.Tenants {
+				t.Fatalf("%s: request %d tenant %d out of range", profile, i, r.Tenant)
+			}
+			if i > 0 && r.Offset < reqs[i-1].Offset {
+				t.Fatalf("%s: offsets not monotone at %d", profile, i)
+			}
+		}
+	}
+
+	if _, err := buildSchedule(scheduleConfig{Seed: 1, Rate: 1, Duration: time.Second, Tenants: 1, Profile: "nope"}); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var samples []time.Duration
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, time.Duration(i)*time.Millisecond)
+	}
+	if got := percentile(samples, 50); got != 50*time.Millisecond {
+		t.Fatalf("P50 = %s, want 50ms", got)
+	}
+	if got := percentile(samples, 99); got != 99*time.Millisecond {
+		t.Fatalf("P99 = %s, want 99ms", got)
+	}
+	if got := percentile(nil, 99); got != 0 {
+		t.Fatalf("P99 of nothing = %s, want 0", got)
+	}
+}

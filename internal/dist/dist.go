@@ -21,7 +21,6 @@ package dist
 import (
 	"context"
 	"errors"
-	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -126,9 +125,7 @@ func (o Options) withDefaults(workers int) Options {
 type Coordinator struct {
 	opts    Options
 	workers []*worker
-
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	backoff *Backoff
 
 	stopHealth context.CancelFunc
 	healthDone chan struct{}
@@ -145,17 +142,18 @@ func New(urls []string, opts Options) *Coordinator {
 	seen := make(map[string]bool)
 	cleaned := opts.withDefaults(0) // client default needed before newWorker
 	for _, raw := range urls {
-		u := normalizeURL(raw)
+		u := NormalizeURL(raw)
 		if u == "" || seen[u] {
 			continue
 		}
 		seen[u] = true
 		workers = append(workers, newWorker(u, cleaned.Client))
 	}
+	resolved := opts.withDefaults(len(workers))
 	c := &Coordinator{
-		opts:    opts.withDefaults(len(workers)),
+		opts:    resolved,
 		workers: workers,
-		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		backoff: NewBackoff(resolved.BackoffBase, resolved.BackoffMax),
 	}
 	if len(workers) > 0 && c.opts.HealthEvery > 0 {
 		ctx, cancel := context.WithCancel(context.Background())
@@ -274,7 +272,7 @@ func (c *Coordinator) execute(ctx context.Context, cell *Cell) (*core.Front, err
 	defer c.m.inFlight.Add(-1)
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			if !sleepCtx(ctx, c.backoff(attempt)) {
+			if !c.backoff.Sleep(ctx, attempt) {
 				break
 			}
 			c.m.retries.Add(1)
@@ -373,20 +371,6 @@ func (c *Coordinator) pick(exclude *worker) *worker {
 		}
 	}
 	return best
-}
-
-// backoff computes the pre-retry delay for the given attempt (1-based):
-// exponential growth from BackoffBase capped at BackoffMax, plus up to 50%
-// random jitter to de-correlate retry storms.
-func (c *Coordinator) backoff(attempt int) time.Duration {
-	d := c.opts.BackoffBase << (attempt - 1)
-	if d > c.opts.BackoffMax || d <= 0 {
-		d = c.opts.BackoffMax
-	}
-	c.rngMu.Lock()
-	jitter := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
-	c.rngMu.Unlock()
-	return d + jitter
 }
 
 // sleepCtx sleeps for d, returning false if ctx ends first.

@@ -468,8 +468,8 @@ func TestNormalizeURL(t *testing.T) {
 		"http://c.example/base//": "http://c.example/base",
 	}
 	for in, want := range cases {
-		if got := normalizeURL(in); got != want {
-			t.Errorf("normalizeURL(%q) = %q, want %q", in, got, want)
+		if got := NormalizeURL(in); got != want {
+			t.Errorf("NormalizeURL(%q) = %q, want %q", in, got, want)
 		}
 	}
 }

@@ -42,18 +42,6 @@ type worker struct {
 	latencyNS atomic.Int64 // total wall-clock of completed jobs
 }
 
-// normalizeURL accepts "host:port" or a full URL and returns a base URL.
-func normalizeURL(raw string) string {
-	raw = strings.TrimRight(strings.TrimSpace(raw), "/")
-	if raw == "" {
-		return ""
-	}
-	if !strings.Contains(raw, "://") {
-		raw = "http://" + raw
-	}
-	return raw
-}
-
 func newWorker(url string, client *http.Client) *worker {
 	w := &worker{url: url, client: client}
 	w.healthy.Store(true) // optimistic; the first failed call marks it down
@@ -62,21 +50,7 @@ func newWorker(url string, client *http.Client) *worker {
 
 // probe refreshes the worker's health from its /healthz endpoint.
 func (w *worker) probe(timeout time.Duration) {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/healthz", nil)
-	if err != nil {
-		w.healthy.Store(false)
-		return
-	}
-	resp, err := w.client.Do(req)
-	if err != nil {
-		w.healthy.Store(false)
-		return
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	w.healthy.Store(resp.StatusCode == http.StatusOK)
+	w.healthy.Store(Probe(w.client, w.url, timeout))
 }
 
 // doJSON performs one request and decodes the JSON response into out. Any

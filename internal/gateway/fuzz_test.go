@@ -1,0 +1,65 @@
+package gateway
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseTenants drives arbitrary bytes through the tenant-config
+// parser — the gateway's operator-facing input surface. Invariants: no
+// panic; every accepted table is internally consistent (non-empty, unique
+// names and keys, valid priorities, sane numeric bounds) and round-trips
+// through JSON to an equally valid table.
+func FuzzParseTenants(f *testing.F) {
+	f.Add([]byte(`{"tenants":[{"name":"acme","key":"k1","rate_per_sec":10,"burst":20,"max_active":8,"priority":"high"}]}`))
+	f.Add([]byte(`{"tenants":[{"name":"a","key":"ka"},{"name":"b","key":"kb","priority":"low"}]}`))
+	f.Add([]byte(`{"tenants":[]}`))
+	f.Add([]byte(`{"tenants":[{"name":"dup","key":"k"},{"name":"dup","key":"k2"}]}`))
+	f.Add([]byte(`{"tenants":[{"name":"neg","key":"k","rate_per_sec":-1}]}`))
+	f.Add([]byte(`{"tenants":[{"name":"inf","key":"k","rate_per_sec":1e308}]}`))
+	f.Add([]byte(`{"tenants":[{"name":"x","key":"k","priority":"urgent"}]}`))
+	f.Add([]byte(`{"tenants":[{"name":"x","key":"k"}]}trailing`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tenants, err := ParseTenants(data)
+		if err != nil {
+			return
+		}
+		if len(tenants) == 0 {
+			t.Fatal("accepted an empty tenant table")
+		}
+		names := make(map[string]bool, len(tenants))
+		keys := make(map[string]bool, len(tenants))
+		for _, tc := range tenants {
+			if tc.Name == "" || tc.Key == "" {
+				t.Fatalf("accepted tenant with empty name/key: %+v", tc)
+			}
+			if names[tc.Name] || keys[tc.Key] {
+				t.Fatalf("accepted duplicate name or key: %+v", tc)
+			}
+			names[tc.Name], keys[tc.Key] = true, true
+			if tc.RatePerSec < 0 || tc.Burst < 0 {
+				t.Fatalf("accepted negative rate/burst: %+v", tc)
+			}
+			if _, ok := classOf(tc.Priority); !ok {
+				t.Fatalf("accepted invalid priority %q", tc.Priority)
+			}
+			// The accepted config must build a working tenant runtime.
+			_ = newTenant(tc)
+		}
+
+		// Round-trip: re-marshalling an accepted table must parse again.
+		blob, err := json.Marshal(TenantsFile{Tenants: tenants})
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		again, err := ParseTenants(blob)
+		if err != nil {
+			t.Fatalf("accepted table failed to re-parse: %v\n%s", err, blob)
+		}
+		if len(again) != len(tenants) {
+			t.Fatalf("round-trip changed tenant count: %d != %d", len(again), len(tenants))
+		}
+	})
+}

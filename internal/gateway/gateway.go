@@ -1,0 +1,788 @@
+// Package gateway is the fleet control plane in front of N clrearlyd
+// workers: one HTTP service that owns admission, routing and result
+// storage, so a fleet of stateless-from-the-client's-view workers behaves
+// like a single large daemon.
+//
+// Three mechanisms carry the design:
+//
+//   - Content-addressed result routing. Jobs are keyed by the existing
+//     sha256(normalized spec) hash. A submission is resolved, in order,
+//     by attaching to an identical in-flight job, by the gateway-local
+//     LRU front cache, by the replicated terminal-result store (a
+//     WAL-backed internal/store, so cached fronts survive gateway
+//     restarts), and only then by dispatch — the whole fleet shares one
+//     logical result cache.
+//
+//   - Pull-based work distribution. Workers long-poll POST /v1/lease for
+//     work instead of having jobs pushed at them. A lease carries a TTL
+//     and is renewed by progress reports; a worker that dies mid-lease
+//     simply stops renewing, and the expiry loop re-enqueues the job at
+//     the head of its class until its delivery budget runs out. Runs are
+//     deterministic per spec, so re-execution is always safe.
+//
+//   - Tenancy and admission control. Every tenant-facing request carries
+//     an API key mapping to a tenant with a token-bucket rate limit, an
+//     active-job quota and a priority class; the dequeue across classes
+//     is weighted-fair. Overload — rate, quota or global queue depth —
+//     answers 429 with Retry-After, never an unbounded queue.
+//
+// The tenant-facing API mirrors clrearlyd's (POST/GET/DELETE /v1/jobs,
+// /wait, /events SSE, /metrics), so existing clients work unchanged
+// against a fleet.
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// Config sizes the gateway.
+type Config struct {
+	// Tenants is the admission-control table; requests whose API key
+	// matches no tenant are rejected with 401.
+	Tenants []TenantConfig
+	// WorkerToken, when non-empty, is the bearer token workers must
+	// present on the lease API. Tenant keys never work there, so a tenant
+	// cannot lease out (and so observe) other tenants' specs.
+	WorkerToken string
+	// QueueCap bounds jobs queued fleet-wide (default 256); beyond it
+	// submissions get 429 + Retry-After backpressure.
+	QueueCap int
+	// CacheCap bounds the gateway-local LRU front cache (default 256).
+	CacheCap int
+	// LeaseTTL is how long a lease survives without a renewal (default
+	// 15s). Workers renew implicitly with every progress report.
+	LeaseTTL time.Duration
+	// MaxDeliveries bounds how many times one job is leased out before it
+	// is failed (default 5): a spec that keeps killing workers must not
+	// circulate forever.
+	MaxDeliveries int
+	// Store, when non-nil, makes the control plane durable: admitted jobs
+	// are journaled before the 202 ack, terminal fronts become the
+	// replicated result store, and a restarted gateway re-enqueues
+	// unfinished jobs and re-serves cached fronts.
+	Store *store.Store
+	// MaxBodyBytes caps tenant request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// ProbeEvery is the period of the health probe against workers that
+	// advertise an address (default 5s; negative disables). Workers that
+	// advertise none are judged by lease traffic alone.
+	ProbeEvery time.Duration
+	// Client is the HTTP client used for worker probes.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.CacheCap <= 0 {
+		c.CacheCap = 256
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.MaxDeliveries <= 0 {
+		c.MaxDeliveries = 5
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.ProbeEvery == 0 {
+		c.ProbeEvery = 5 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// Gateway is the control-plane server. Create with New, mount as an
+// http.Handler, release with Close.
+type Gateway struct {
+	cfg     Config
+	mux     *http.ServeMux
+	queue   *workQueue
+	byKey   map[string]*tenant
+	byName  map[string]*tenant
+	anon    *tenant // owner of jobs recovered under a tenant no longer configured
+	m       gwMetrics
+	closed  chan struct{}
+	loopsWG sync.WaitGroup
+
+	mu           sync.Mutex
+	jobs         map[string]*gwJob
+	order        []string
+	activeByHash map[string]*gwJob
+	cache        *lruFronts
+	leases       map[string]*lease
+	workers      map[string]*workerInfo
+	nextID       int64
+	nextLease    int64
+}
+
+// lease is one outstanding claim of a job by a worker.
+type lease struct {
+	id      string
+	job     *gwJob
+	worker  string
+	granted time.Time
+	expires time.Time
+}
+
+// workerInfo is the gateway's view of one leasing worker.
+type workerInfo struct {
+	name      string
+	addr      string // normalized advertised base URL; "" = none
+	lastSeen  time.Time
+	probedOK  bool // last /healthz probe result (addr-advertising workers)
+	probed    bool
+	completed int64
+	failed    int64
+	expired   int64
+}
+
+// New builds a gateway over the tenant table and starts its lease-expiry
+// and worker-probe loops.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	g := &Gateway{
+		cfg:          cfg,
+		queue:        newWorkQueue(cfg.QueueCap),
+		byKey:        make(map[string]*tenant),
+		byName:       make(map[string]*tenant),
+		closed:       make(chan struct{}),
+		jobs:         make(map[string]*gwJob),
+		activeByHash: make(map[string]*gwJob),
+		cache:        newLRUFronts(cfg.CacheCap),
+		leases:       make(map[string]*lease),
+		workers:      make(map[string]*workerInfo),
+	}
+	for _, tc := range cfg.Tenants {
+		t := newTenant(tc)
+		if _, dup := g.byKey[tc.Key]; dup {
+			return nil, fmt.Errorf("gateway: duplicate API key (tenant %q)", tc.Name)
+		}
+		if _, dup := g.byName[tc.Name]; dup {
+			return nil, fmt.Errorf("gateway: duplicate tenant name %q", tc.Name)
+		}
+		g.byKey[tc.Key] = t
+		g.byName[tc.Name] = t
+	}
+	g.anon = newTenant(TenantConfig{Name: "(recovered)", Key: "", MaxActive: -1})
+	if cfg.Store != nil {
+		g.recover(cfg.Store)
+	}
+
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("POST /v1/jobs", g.handleSubmit)
+	g.mux.HandleFunc("GET /v1/jobs", g.handleList)
+	g.mux.HandleFunc("GET /v1/jobs/{id}", g.handleGet)
+	g.mux.HandleFunc("GET /v1/jobs/{id}/wait", g.handleWait)
+	g.mux.HandleFunc("GET /v1/jobs/{id}/events", g.handleEvents)
+	g.mux.HandleFunc("DELETE /v1/jobs/{id}", g.handleCancel)
+	g.mux.HandleFunc("POST /v1/lease", g.handleLease)
+	g.mux.HandleFunc("POST /v1/lease/{id}/progress", g.handleLeaseProgress)
+	g.mux.HandleFunc("POST /v1/lease/{id}/renew", g.handleLeaseRenew)
+	g.mux.HandleFunc("POST /v1/lease/{id}/complete", g.handleLeaseComplete)
+	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
+	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
+
+	g.loopsWG.Add(1)
+	go g.expiryLoop()
+	if cfg.ProbeEvery > 0 {
+		g.loopsWG.Add(1)
+		go g.probeLoop()
+	}
+	return g, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) { g.mux.ServeHTTP(w, r) }
+
+// Close stops the expiry and probe loops. Outstanding HTTP requests are
+// the http.Server's to drain.
+func (g *Gateway) Close() {
+	select {
+	case <-g.closed:
+	default:
+		close(g.closed)
+	}
+	g.loopsWG.Wait()
+}
+
+// recover rebuilds gateway state from the durable store: terminal fronts
+// repopulate the shared result cache, finished job records keep answering
+// GET /v1/jobs/{id}, and jobs that never finished re-enter the queue
+// under their original IDs. Runs before the HTTP surface is up, so no
+// locking is needed.
+func (g *Gateway) recover(st *store.Store) {
+	for _, r := range st.Results() {
+		var fw service.FrontWire
+		if err := json.Unmarshal(r.Payload, &fw); err == nil {
+			g.cache.Add(r.Hash, &fw)
+		}
+	}
+	for _, jr := range st.Jobs() {
+		var rec storedJob
+		if err := json.Unmarshal(jr.Spec, &rec); err != nil || rec.Spec == nil {
+			continue // journaled by a newer build; unusable but harmless
+		}
+		var spec service.JobSpec
+		if err := json.Unmarshal(rec.Spec, &spec); err != nil {
+			continue
+		}
+		t := g.byName[rec.Tenant]
+		if t == nil {
+			// The tenant table changed across the restart; the job still
+			// owes its submitter a result, so it proceeds without quota
+			// accounting under the recovery tenant.
+			t = g.anon
+		}
+		j := &gwJob{
+			id:        jr.ID,
+			tenant:    t,
+			spec:      spec,
+			hash:      jr.Hash,
+			class:     t.class,
+			subs:      make(map[chan service.ProgressWire]struct{}),
+			done:      make(chan struct{}),
+			submitted: jr.Submitted,
+		}
+		var n int64
+		if _, err := fmt.Sscanf(jr.ID, "g%d", &n); err == nil && n > g.nextID {
+			g.nextID = n
+		}
+		if jr.Pending() {
+			j.state = service.StateQueued
+			if t != g.anon {
+				t.mu.Lock()
+				t.active++
+				t.mu.Unlock()
+			}
+			g.activeByHash[j.hash] = j
+			g.queue.pushForce(j)
+		} else {
+			j.state = jr.State
+			j.cached = jr.Cached
+			j.errMsg = jr.Error
+			j.finished = jr.Finished
+			if jr.State == service.StateDone {
+				if fw, ok := g.cache.Get(jr.Hash); ok {
+					j.front = fw
+				}
+			}
+			close(j.done)
+		}
+		g.jobs[j.id] = j
+		g.order = append(g.order, j.id)
+	}
+}
+
+// storedJob is the journaled submission payload: the spec plus its owner,
+// so recovery can restore tenant attribution.
+type storedJob struct {
+	Tenant string          `json:"tenant"`
+	Spec   json.RawMessage `json:"spec"`
+}
+
+// ---- tenant-facing handlers ----
+
+// authTenant resolves the request's API key ("Authorization: Bearer" or
+// "X-API-Key") to a tenant.
+func (g *Gateway) authTenant(r *http.Request) *tenant {
+	key := r.Header.Get("X-API-Key")
+	if key == "" {
+		const prefix = "Bearer "
+		if h := r.Header.Get("Authorization"); len(h) > len(prefix) && h[:len(prefix)] == prefix {
+			key = h[len(prefix):]
+		}
+	}
+	if key == "" {
+		return nil
+	}
+	return g.byKey[key]
+}
+
+func retryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64(d / time.Second)
+	if d%time.Second != 0 || secs < 1 {
+		secs++
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+}
+
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	t := g.authTenant(r)
+	if t == nil {
+		g.m.rejectedAuth.Add(1)
+		httpError(w, http.StatusUnauthorized, "missing or unknown API key")
+		return
+	}
+	g.m.submitted.Add(1)
+	if ok, wait := t.admitRate(time.Now()); !ok {
+		t.rejectedRate.Add(1)
+		g.m.rejectedRate.Add(1)
+		retryAfter(w, wait)
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("tenant %s over its %.3g jobs/s rate", t.cfg.Name, t.cfg.RatePerSec))
+		return
+	}
+	if g.cfg.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	}
+	var spec service.JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("job spec exceeds %d-byte limit", tooLarge.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding job spec: %v", err))
+		return
+	}
+	if err := spec.Normalize(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Reject specs that cannot build at the edge: a 400 here is cheaper
+	// for the fleet than a failed job on a worker.
+	if _, _, err := service.Build(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	hash := spec.Hash()
+
+	g.mu.Lock()
+	// Content-addressed routing, cheapest source first: an identical job
+	// already in flight absorbs the submission outright.
+	if dup := g.activeByHash[hash]; dup != nil {
+		dup.mu.Lock()
+		dup.attached++
+		dup.mu.Unlock()
+		t.deduped.Add(1)
+		g.m.attachHits.Add(1)
+		g.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, dup.wire(false))
+		return
+	}
+	// Then the shared result cache: gateway-local LRU, falling back to
+	// the replicated terminal-result store that survives restarts.
+	front, ok := g.cache.Get(hash)
+	source := &g.m.cacheHits
+	if !ok && g.cfg.Store != nil {
+		if payload, found := g.cfg.Store.Result(hash); found {
+			var fw service.FrontWire
+			if err := json.Unmarshal(payload, &fw); err == nil {
+				front, ok = &fw, true
+				source = &g.m.storeHits
+				g.cache.Add(hash, front)
+			}
+		}
+	}
+	if ok {
+		source.Add(1)
+		t.deduped.Add(1)
+		j := g.newJobLocked(t, spec, hash)
+		j.state = service.StateDone
+		j.cached = true
+		j.front = front
+		j.finished = j.submitted
+		close(j.done)
+		g.jobs[j.id] = j
+		g.order = append(g.order, j.id)
+		g.mu.Unlock()
+		g.journalAccept(j)
+		g.journalFinish(j)
+		writeJSON(w, http.StatusOK, j.wire(true))
+		return
+	}
+	g.m.misses.Add(1)
+
+	// Admission control: per-tenant quota, then global queue depth.
+	if !t.reserveActive() {
+		g.mu.Unlock()
+		t.rejectedQuota.Add(1)
+		g.m.rejectedQuota.Add(1)
+		retryAfter(w, time.Second)
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("tenant %s at its %d active-job quota", t.cfg.Name, t.cfg.MaxActive))
+		return
+	}
+	j := g.newJobLocked(t, spec, hash)
+	j.state = service.StateQueued
+	if !g.queue.push(j) {
+		g.nextID--
+		g.mu.Unlock()
+		t.releaseActive()
+		t.rejectedQueue.Add(1)
+		g.m.rejectedBackpressure.Add(1)
+		retryAfter(w, time.Second)
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("fleet queue full (%d jobs waiting)", g.cfg.QueueCap))
+		return
+	}
+	g.jobs[j.id] = j
+	g.order = append(g.order, j.id)
+	g.activeByHash[hash] = j
+	g.mu.Unlock()
+	t.admitted.Add(1)
+	g.m.admitted.Add(1)
+	// Journal the admission before acknowledging: once the client sees
+	// 202, the job survives a gateway crash.
+	if err := g.journalAccept(j); err != nil {
+		g.finalize(j, service.StateFailed, "journaling job: "+err.Error(), nil)
+		httpError(w, http.StatusInternalServerError, "journaling job: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.wire(false))
+}
+
+// newJobLocked allocates a job record; the caller holds g.mu.
+func (g *Gateway) newJobLocked(t *tenant, spec service.JobSpec, hash string) *gwJob {
+	g.nextID++
+	return &gwJob{
+		id:        fmt.Sprintf("g%06d", g.nextID),
+		tenant:    t,
+		spec:      spec,
+		hash:      hash,
+		class:     t.class,
+		subs:      make(map[chan service.ProgressWire]struct{}),
+		done:      make(chan struct{}),
+		submitted: time.Now(),
+	}
+}
+
+func (g *Gateway) journalAccept(j *gwJob) error {
+	st := g.cfg.Store
+	if st == nil {
+		return nil
+	}
+	specJSON, err := json.Marshal(&j.spec)
+	if err == nil {
+		var payload []byte
+		payload, err = json.Marshal(storedJob{Tenant: j.tenant.cfg.Name, Spec: specJSON})
+		if err == nil {
+			err = st.AcceptJob(j.id, j.hash, payload, j.submitted)
+		}
+	}
+	return err
+}
+
+// journalFinish records a job's terminal state; done fronts become the
+// replicated result-store entry under the spec hash. Best-effort: a
+// store error here degrades durability, never the response.
+func (g *Gateway) journalFinish(j *gwJob) {
+	st := g.cfg.Store
+	if st == nil {
+		return
+	}
+	j.mu.Lock()
+	state, errMsg, cached, front, finished := j.state, j.errMsg, j.cached, j.front, j.finished
+	j.mu.Unlock()
+	var payload json.RawMessage
+	if state == service.StateDone && front != nil && !cached {
+		payload, _ = json.Marshal(front)
+	}
+	_ = st.FinishJob(j.id, state, j.hash, errMsg, cached, payload, finished)
+}
+
+// finalize moves a job to a terminal state (idempotently), releases its
+// admission slot, publishes the result and journals the outcome.
+func (g *Gateway) finalize(j *gwJob, state, errMsg string, front *service.FrontWire) {
+	j.mu.Lock()
+	switch j.state {
+	case service.StateDone, service.StateFailed, service.StateCancelled:
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	if state == service.StateDone {
+		j.front = front
+	} else {
+		j.errMsg = errMsg
+	}
+	j.finished = time.Now()
+	j.worker = ""
+	close(j.done)
+	j.mu.Unlock()
+
+	t := j.tenant
+	if t != g.anon {
+		t.releaseActive()
+	}
+	switch state {
+	case service.StateDone:
+		t.completed.Add(1)
+		g.m.completed.Add(1)
+	case service.StateFailed:
+		t.failed.Add(1)
+		g.m.failed.Add(1)
+	case service.StateCancelled:
+		t.cancelled.Add(1)
+		g.m.cancelled.Add(1)
+	}
+	g.mu.Lock()
+	if g.activeByHash[j.hash] == j {
+		delete(g.activeByHash, j.hash)
+	}
+	if state == service.StateDone && front != nil {
+		g.cache.Add(j.hash, front)
+	}
+	g.mu.Unlock()
+	g.journalFinish(j)
+}
+
+func (g *Gateway) lookup(w http.ResponseWriter, r *http.Request) *gwJob {
+	t := g.authTenant(r)
+	if t == nil {
+		g.m.rejectedAuth.Add(1)
+		httpError(w, http.StatusUnauthorized, "missing or unknown API key")
+		return nil
+	}
+	g.mu.Lock()
+	j := g.jobs[r.PathValue("id")]
+	g.mu.Unlock()
+	// Another tenant's job reads as absent, not forbidden: job IDs must
+	// not confirm what other tenants are running. Jobs recovered under a
+	// dropped tenant stay readable by anyone authenticated.
+	if j == nil || (j.tenant != t && j.tenant != g.anon) {
+		httpError(w, http.StatusNotFound, "no such job")
+		return nil
+	}
+	return j
+}
+
+func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request) {
+	if j := g.lookup(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.wire(true))
+	}
+}
+
+func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
+	t := g.authTenant(r)
+	if t == nil {
+		g.m.rejectedAuth.Add(1)
+		httpError(w, http.StatusUnauthorized, "missing or unknown API key")
+		return
+	}
+	g.mu.Lock()
+	jobs := make([]*gwJob, 0, len(g.order))
+	for _, id := range g.order {
+		if j := g.jobs[id]; j.tenant == t {
+			jobs = append(jobs, j)
+		}
+	}
+	g.mu.Unlock()
+	out := make([]*service.JobWire, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.wire(false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// handleWait long-polls a job until it is terminal or the "timeout" query
+// parameter (default 30s, capped at 5m) elapses — the same contract as
+// clrearlyd's /wait, so dist.Coordinator can front a gateway unchanged.
+func (g *Gateway) handleWait(w http.ResponseWriter, r *http.Request) {
+	j := g.lookup(w, r)
+	if j == nil {
+		return
+	}
+	d := 30 * time.Second
+	if raw := r.URL.Query().Get("timeout"); raw != "" {
+		parsed, err := time.ParseDuration(raw)
+		if err != nil || parsed <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad timeout %q", raw))
+			return
+		}
+		d = min(parsed, 5*time.Minute)
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-j.done:
+	case <-timer.C:
+	case <-r.Context().Done():
+		return
+	}
+	writeJSON(w, http.StatusOK, j.wire(true))
+}
+
+func (g *Gateway) handleCancel(w http.ResponseWriter, r *http.Request) {
+	t := g.authTenant(r)
+	if t == nil {
+		g.m.rejectedAuth.Add(1)
+		httpError(w, http.StatusUnauthorized, "missing or unknown API key")
+		return
+	}
+	g.mu.Lock()
+	j := g.jobs[r.PathValue("id")]
+	g.mu.Unlock()
+	// Same hiding rule as lookup; and nobody may cancel a recovered
+	// (anon-owned) job, since ownership can no longer be proven.
+	if j == nil || j.tenant != t {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.mu.Lock()
+	state := j.state
+	if state == service.StateRunning {
+		// The lease holder learns of the cancellation on its next
+		// progress report or renewal; lease expiry is the backstop for a
+		// worker that never checks in again.
+		j.cancelReq = true
+	}
+	j.mu.Unlock()
+	if state == service.StateQueued {
+		g.queue.remove(j)
+		g.finalize(j, service.StateCancelled, "cancelled", nil)
+	}
+	writeJSON(w, http.StatusAccepted, j.wire(false))
+}
+
+// handleEvents streams a job's per-generation progress as SSE, relayed
+// from the lease holder's progress reports. Same coalescing contract as
+// the daemon: slow subscribers drop intermediate generations, the
+// terminal event always carries the final state.
+func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := g.lookup(w, r)
+	if j == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	sub := make(chan service.ProgressWire, 16)
+	j.mu.Lock()
+	j.subs[sub] = struct{}{}
+	j.mu.Unlock()
+	g.m.sseSubscribers.Add(1)
+	defer func() {
+		j.mu.Lock()
+		delete(j.subs, sub)
+		j.mu.Unlock()
+		g.m.sseSubscribers.Add(-1)
+	}()
+
+	j.mu.Lock()
+	last := j.progress
+	j.mu.Unlock()
+	writeSSE(w, "status", j.wire(false))
+	if last != nil {
+		writeSSE(w, "progress", *last)
+	}
+	flusher.Flush()
+	for {
+		select {
+		case p := <-sub:
+			writeSSE(w, "progress", p)
+			flusher.Flush()
+		case <-j.done:
+			for {
+				select {
+				case p := <-sub:
+					writeSSE(w, "progress", p)
+				default:
+					final := j.wire(true)
+					writeSSE(w, final.State, final)
+					flusher.Flush()
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// ---- helpers (wire-identical to the daemon's) ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeSSE(w http.ResponseWriter, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// probeLoop health-checks workers that advertise an address, reusing the
+// sweep federation's probe helper.
+func (g *Gateway) probeLoop() {
+	defer g.loopsWG.Done()
+	t := time.NewTicker(g.cfg.ProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.closed:
+			return
+		case <-t.C:
+		}
+		g.mu.Lock()
+		targets := make(map[string]string)
+		for name, wi := range g.workers {
+			if wi.addr != "" {
+				targets[name] = wi.addr
+			}
+		}
+		g.mu.Unlock()
+		timeout := max(time.Second, g.cfg.ProbeEvery)
+		var wg sync.WaitGroup
+		results := make(map[string]bool, len(targets))
+		var resMu sync.Mutex
+		for name, addr := range targets {
+			wg.Add(1)
+			go func(name, addr string) {
+				defer wg.Done()
+				ok := dist.Probe(g.cfg.Client, addr, timeout)
+				resMu.Lock()
+				results[name] = ok
+				resMu.Unlock()
+			}(name, addr)
+		}
+		wg.Wait()
+		g.mu.Lock()
+		for name, ok := range results {
+			if wi := g.workers[name]; wi != nil {
+				wi.probed = true
+				wi.probedOK = ok
+			}
+		}
+		g.mu.Unlock()
+	}
+}

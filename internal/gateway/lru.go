@@ -1,0 +1,56 @@
+package gateway
+
+import (
+	"container/list"
+
+	"repro/internal/service"
+)
+
+// lruFronts is the gateway-local tier of the shared result cache: a
+// fixed-capacity LRU from spec hashes to finished fronts. Not safe for
+// concurrent use; the gateway guards it with g.mu.
+type lruFronts struct {
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruFrontEntry struct {
+	key   string
+	front *service.FrontWire
+}
+
+func newLRUFronts(capacity int) *lruFronts {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruFronts{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached front and refreshes its recency.
+func (c *lruFronts) Get(key string) (*service.FrontWire, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruFrontEntry).front, true
+}
+
+// Add inserts or refreshes an entry, evicting beyond capacity.
+func (c *lruFronts) Add(key string, front *service.FrontWire) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruFrontEntry).front = front
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruFrontEntry{key: key, front: front})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*lruFrontEntry).key)
+	}
+}
+
+// Len is the current entry count.
+func (c *lruFronts) Len() int { return c.order.Len() }

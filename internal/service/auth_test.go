@@ -1,0 +1,82 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestAuthToken locks the API behind a bearer token and checks every
+// combination of header against it; /healthz stays open so probes work.
+func TestAuthToken(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, AuthToken: "secret-token"})
+
+	cases := []struct {
+		name   string
+		header string
+		want   int
+	}{
+		{"no header", "", http.StatusUnauthorized},
+		{"wrong scheme", "Basic secret-token", http.StatusUnauthorized},
+		{"wrong token", "Bearer wrong", http.StatusUnauthorized},
+		{"token prefix", "Bearer secret", http.StatusUnauthorized},
+		{"token with suffix", "Bearer secret-token-x", http.StatusUnauthorized},
+		{"correct", "Bearer secret-token", http.StatusOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.header != "" {
+				req.Header.Set("Authorization", tc.header)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("GET /v1/jobs with %q = %d, want %d", tc.header, resp.StatusCode, tc.want)
+			}
+		})
+	}
+
+	// The liveness probe must not require credentials.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz without token = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestMaxBodyBytes rejects oversized submissions with 413 and leaves
+// normal-sized ones unaffected.
+func TestMaxBodyBytes(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxBodyBytes: 256})
+
+	// A spec padded past the cap via a long graph_text. The decoder must
+	// hit the byte limit before it can finish reading.
+	big, err := json.Marshal(JobSpec{GraphText: strings.Repeat("x", 1024)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized spec = %d, want 413", resp.StatusCode)
+	}
+
+	if _, code := postJob(t, ts, JobSpec{App: "sobel", Method: "fcclr", Pop: 8, Gens: 1, Seed: 1}); code != http.StatusAccepted {
+		t.Fatalf("small spec = %d, want 202", code)
+	}
+}

@@ -2,7 +2,9 @@ package service
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -36,6 +38,15 @@ type Config struct {
 	// CheckpointEvery is the generation period of durable GA snapshots
 	// (default core.DefaultCheckpointEvery; meaningful only with Store).
 	CheckpointEvery int
+	// AuthToken, when non-empty, locks the job API: every request except
+	// GET /healthz must carry "Authorization: Bearer <AuthToken>". Workers
+	// fronted by a gateway set it (clrearlyd -worker-token) so only the
+	// fleet — which shares the token — can reach the daemon directly.
+	AuthToken string
+	// MaxBodyBytes caps the request body of POST /v1/jobs (default 1 MiB;
+	// negative disables the cap). Oversized submissions get 413 before the
+	// decoder buffers an unbounded spec.
+	MaxBodyBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -47,6 +58,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheCap <= 0 {
 		c.CacheCap = 128
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
 	}
 	return c
 }
@@ -162,8 +176,29 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. With an AuthToken configured, every
+// endpoint except the liveness probe requires the bearer token.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.AuthToken != "" && r.URL.Path != "/healthz" {
+		if !CheckBearer(r, s.cfg.AuthToken) {
+			httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// CheckBearer reports whether r carries "Authorization: Bearer <token>".
+// The comparison is constant-time so the API key cannot be guessed
+// byte-by-byte from response timing.
+func CheckBearer(r *http.Request, token string) bool {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(h) <= len(prefix) || h[:len(prefix)] != prefix {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(h[len(prefix):]), []byte(token)) == 1
+}
 
 // Shutdown stops the service gracefully: new submissions are rejected,
 // still-queued jobs are cancelled, and running jobs are drained until ctx
@@ -306,10 +341,19 @@ func (s *Server) publishProgress(j *job, e core.ProgressEvent, total int) {
 // ---- HTTP handlers ----
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
 	var spec JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("job spec exceeds %d-byte limit", tooLarge.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding job spec: %v", err))
 		return
 	}
