@@ -1,7 +1,7 @@
 GO ?= go
 PORT ?= 8080
 
-.PHONY: build test vet race fuzz-smoke loadtest validate-quick bench bench-sweep bench-snapshot bench-compare quick full serve
+.PHONY: build test vet race fuzz-smoke loadtest validate-quick bench bench-sweep bench-snapshot bench-compare bench-islands island-smoke quick full serve
 
 build:
 	$(GO) build ./...
@@ -22,14 +22,15 @@ race:
 	$(GO) vet ./... && $(GO) test -race ./internal/sweep ./internal/core ./internal/moea ./internal/service ./internal/store ./internal/dist ./internal/gateway ./internal/heft ./internal/relmodel ./internal/markov ./internal/matrix
 
 # Short continuous-fuzzing pass over the input-parsing surfaces: the TGFF
-# text parser, the JobSpec normalizer, the WAL replayer and the gateway
-# tenant-config parser. Each target gets 10s on top of the checked-in
-# corpus under testdata/fuzz/.
+# text parser, the JobSpec normalizer, the WAL replayer, the gateway
+# tenant-config parser and the island migrant wire format. Each target gets
+# 10s on top of the checked-in corpus under testdata/fuzz/.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzParseText -fuzztime 10s ./internal/tgff
 	$(GO) test -run xxx -fuzz FuzzNormalize -fuzztime 10s ./internal/service
 	$(GO) test -run xxx -fuzz FuzzWALReplay -fuzztime 10s ./internal/store
 	$(GO) test -run xxx -fuzz FuzzParseTenants -fuzztime 10s ./internal/gateway
+	$(GO) test -run xxx -fuzz FuzzMigrationDecode -fuzztime 10s ./internal/moea
 
 # SLO load harness: drive an in-process 2-worker fleet through the
 # gateway for 30s of deterministic duplicate-heavy traffic and gate on
@@ -67,13 +68,34 @@ bench-snapshot:
 # snapshot (highest-numbered BENCH_*.json by default). Tune with
 # BENCH_TIME_PCT / BENCH_ALLOC_PCT — CI uses a looser time bound to absorb
 # shared-runner variance.
-BENCH_COMPARE_BASE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+BENCH_COMPARE_BASE ?= $(lastword $(sort $(wildcard BENCH_PR*.json)))
 BENCH_TIME_PCT ?= 10
 BENCH_ALLOC_PCT ?= 10
 bench-compare:
 	$(GO) test -run '^$$' -bench 'Sweep|Fig|Table' -benchmem -benchtime 1x . | \
 		$(GO) run ./cmd/benchsnap -compare -baseline $(BENCH_COMPARE_BASE) \
 			-max-time-pct $(BENCH_TIME_PCT) -max-alloc-pct $(BENCH_ALLOC_PCT)
+	$(GO) test -run '^$$' -bench 'Islands' -benchmem -benchtime 1x . | \
+		$(GO) run ./cmd/benchsnap -compare -baseline BENCH_ISLANDS_PR8.json \
+			-max-time-pct $(BENCH_TIME_PCT) -max-alloc-pct $(BENCH_ALLOC_PCT)
+
+# Island-quality snapshot: the equal-budget hypervolume uplift benchmarks
+# (island vs single population on sobel + synthetic), recorded as the
+# committed BENCH_ISLANDS_PR8.json artifact. The hv-uplift-% metric is
+# deterministic; only the timing columns vary across machines.
+BENCH_ISLANDS_SNAPSHOT ?= BENCH_ISLANDS_PR8.json
+bench-islands:
+	$(GO) test -run '^$$' -bench 'Islands' -benchmem -benchtime 1x . | \
+		$(GO) run ./cmd/benchsnap -o $(BENCH_ISLANDS_SNAPSHOT)
+
+# Deterministic island smoke: a quick 2-island experiment run byte-compared
+# against the committed golden. Catches any change to the migration
+# protocol, RNG stream layout or merge order that would silently break
+# cross-version reproducibility.
+island-smoke:
+	$(GO) run ./cmd/experiments -quick -run fig7 -islands 2 -migration-every 2 \
+		-timing=false > /tmp/island-smoke.out
+	cmp /tmp/island-smoke.out testdata/island_smoke.golden
 
 # Build and launch the DSE job service on $(PORT).
 serve:

@@ -68,6 +68,9 @@ func run(args []string, w io.Writer) error {
 	surrogate := fs.Bool("surrogate", false, "screen offspring with a cheap surrogate proxy before full evaluation (nsga2 only)")
 	surrogateFrac := fs.Float64("surrogate-frac", 0,
 		"fraction of each generation fully evaluated under -surrogate, in (0,1] (0 = default 0.5)")
+	islands := fs.Int("islands", 0, "split each GA stage into this many cooperating islands (nsga2 only; 0/1 = single population)")
+	migrationEvery := fs.Int("migration-every", 0, "generations between island migrant exchanges (required with -islands ≥ 2)")
+	migrants := fs.Int("migrants", 0, "elites exchanged per island per epoch (0 = default 2)")
 	jsonOut := fs.Bool("json", false, "emit the front as JSON in the service wire format")
 	ganttChart := fs.Bool("gantt", false, "render the most reliable mapping as a Gantt chart (proposed/fcclr only)")
 	remote := fs.String("remote", "", "comma-separated clrearlyd worker addresses; offload the run with local fallback")
@@ -91,6 +94,9 @@ func run(args []string, w io.Writer) error {
 		NoDelta:           *noDelta,
 		Surrogate:         *surrogate,
 		SurrogateFraction: *surrogateFrac,
+		Islands:           *islands,
+		MigrationEvery:    *migrationEvery,
+		Migrants:          *migrants,
 		Constraints: service.Constraints{
 			MaxMakespanUS:    *maxMakespan,
 			MinFunctionalRel: *minFRel,

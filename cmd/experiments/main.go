@@ -67,6 +67,9 @@ func run(args []string, w io.Writer) error {
 	timing := fs.Bool("timing", true, "include wall-clock times in section headers")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	islands := fs.Int("islands", 0, "run every GA in island mode with this many islands (0 = single population)")
+	migrationEvery := fs.Int("migration-every", 0, "generations between island migrant exchanges (with -islands)")
+	migrants := fs.Int("migrants", 0, "elites exchanged per island per epoch (0 = default 2)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -136,6 +139,9 @@ func run(args []string, w io.Writer) error {
 		cfg.Sizes = parsed
 	}
 	cfg.Jobs = *jobs
+	cfg.Islands = *islands
+	cfg.MigrationEvery = *migrationEvery
+	cfg.Migrants = *migrants
 	if *workers != "" {
 		coord := dist.New(strings.Split(*workers, ","), dist.Options{})
 		defer func() {

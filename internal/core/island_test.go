@@ -1,0 +1,284 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/pareto"
+)
+
+func islandCfg(seed int64) RunConfig {
+	cfg := smallCfg(seed)
+	cfg.Islands = 2
+	cfg.MigrationEvery = 3
+	cfg.Migrants = 2
+	return cfg
+}
+
+// TestIslandDeterminism is the acceptance contract of island mode: for a
+// fixed seed and island count, the merged front is byte-identical across
+// worker counts and placements, across a mid-run kill and restart, and
+// across checkpoint/resume cycles.
+func TestIslandDeterminism(t *testing.T) {
+	inst := sobelInstance()
+	cfg := islandCfg(9)
+
+	ref, err := FcCLR(inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := frontBytes(t, ref)
+	if len(ref.Points) == 0 {
+		t.Fatal("island run produced an empty front")
+	}
+
+	t.Run("worker-placement", func(t *testing.T) {
+		for _, workers := range []int{1, 3, 0} {
+			c := cfg
+			c.Workers = workers
+			res, err := FcCLR(inst, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if frontBytes(t, res) != want {
+				t.Fatalf("front diverged with %d workers", workers)
+			}
+		}
+	})
+
+	t.Run("restart-and-resume", func(t *testing.T) {
+		ck := newMemCheckpointer()
+		ctx, cancel := context.WithCancel(context.Background())
+		icfg := cfg
+		icfg.Ctx = ctx
+		icfg.Checkpoint = ck
+		icfg.CheckpointEvery = 2
+		icfg.Progress = func(ev ProgressEvent) {
+			if ev.Generation == 7 {
+				cancel()
+			}
+		}
+		if _, err := FcCLR(inst, icfg); err == nil {
+			t.Fatal("interrupted island run returned no error")
+		}
+		// Every island checkpointed under its derived stage key.
+		for i := 0; i < cfg.Islands; i++ {
+			cp := ck.ResumeStage(IslandStage("fcclr", i))
+			if cp == nil {
+				t.Fatalf("island %d has no engine snapshot", i)
+			}
+			if cp.Generation == 0 {
+				t.Fatalf("island %d snapshot at generation 0", i)
+			}
+		}
+		rcfg := cfg
+		rcfg.Checkpoint = ck
+		res, err := FcCLR(inst, rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frontBytes(t, res) != want {
+			t.Fatal("resumed island run changed the front")
+		}
+		if res.Evaluations != ref.Evaluations {
+			t.Fatalf("resumed evaluations %d != reference %d", res.Evaluations, ref.Evaluations)
+		}
+		// A second rerun restores the completed front without re-running.
+		again, err := FcCLR(inst, rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frontBytes(t, again) != want {
+			t.Fatal("front restore after completion diverged")
+		}
+	})
+
+	t.Run("double-interrupt", func(t *testing.T) {
+		ck := newMemCheckpointer()
+		run := func(cancelAt int) (*Front, error) {
+			ctx, cancel := context.WithCancel(context.Background())
+			icfg := cfg
+			icfg.Ctx = ctx
+			icfg.Checkpoint = ck
+			icfg.CheckpointEvery = 2
+			if cancelAt > 0 {
+				var once sync.Once
+				icfg.Progress = func(ev ProgressEvent) {
+					if ev.Generation >= cancelAt {
+						once.Do(cancel)
+					}
+				}
+			}
+			defer cancel()
+			return FcCLR(inst, icfg)
+		}
+		if _, err := run(4); err == nil {
+			t.Fatal("first interrupt lost")
+		}
+		if _, err := run(8); err == nil {
+			t.Fatal("second interrupt lost")
+		}
+		res, err := run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frontBytes(t, res) != want {
+			t.Fatal("doubly interrupted island run changed the front")
+		}
+	})
+}
+
+// TestIslandMigrationEveryZeroDegrades pins the compatibility contract:
+// island knobs with MigrationEvery=0 (or a single island) run exactly
+// today's single-population engine, byte for byte.
+func TestIslandMigrationEveryZeroDegrades(t *testing.T) {
+	inst := sobelInstance()
+	plain, err := FcCLR(inst, smallCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := frontBytes(t, plain)
+	cases := []struct {
+		name                     string
+		islands, every, migrants int
+	}{
+		{"migration-every-zero", 4, 0, 2},
+		{"single-island", 1, 3, 2},
+		{"zero-islands", 0, 3, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallCfg(4)
+			cfg.Islands = tc.islands
+			cfg.MigrationEvery = tc.every
+			cfg.Migrants = tc.migrants
+			res, err := FcCLR(inst, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if frontBytes(t, res) != want {
+				t.Fatal("degraded island config diverged from single-population run")
+			}
+			if res.Evaluations != plain.Evaluations {
+				t.Fatalf("evaluations %d != %d", res.Evaluations, plain.Evaluations)
+			}
+		})
+	}
+}
+
+// TestIslandUplift is the quality half of the acceptance contract: at
+// equal evaluation budgets, the island model's mean hypervolume over a
+// fixed seed set must be at least the single population's, on both the
+// paper's sobel application and a synthetic graph. The mean over several
+// seeds is the honest form of the claim — individual seeds are noisy in
+// both directions, and averaging is deterministic (every run is seeded),
+// so this never flakes.
+func TestIslandUplift(t *testing.T) {
+	cases := []struct {
+		name string
+		inst *Instance
+	}{
+		{"sobel", sobelInstance()},
+		{"synthetic", synInstance(10, 5)},
+	}
+	seeds := []int64{1, 2, 3, 4, 5}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			meanRel := 0.0
+			for _, seed := range seeds {
+				cfg := RunConfig{Pop: 32, Gens: 24, Seed: seed}
+				single, err := FcCLR(tc.inst, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				icfg := cfg
+				icfg.Islands = 2
+				icfg.MigrationEvery = 2
+				icfg.Migrants = 2
+				island, err := FcCLR(tc.inst, icfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if island.Evaluations != single.Evaluations {
+					t.Fatalf("seed %d: budgets diverged: island %d vs single %d",
+						seed, island.Evaluations, single.Evaluations)
+				}
+				so, io := single.ObjectiveMatrix(), island.ObjectiveMatrix()
+				ref := pareto.ReferencePoint(0.05, so, io)
+				hvSingle := pareto.Hypervolume(so, ref)
+				hvIsland := pareto.Hypervolume(io, ref)
+				rel := (hvIsland - hvSingle) / hvSingle
+				meanRel += rel / float64(len(seeds))
+				t.Logf("seed %d: islands %.6g vs single %.6g (%+.1f%%) at %d evaluations",
+					seed, hvIsland, hvSingle, 100*rel, island.Evaluations)
+			}
+			if meanRel < 0 {
+				t.Fatalf("mean island hypervolume uplift %.2f%% < 0 at equal budgets", 100*meanRel)
+			}
+			t.Logf("mean uplift over %d seeds: %+.1f%%", len(seeds), 100*meanRel)
+		})
+	}
+}
+
+// TestIslandRequiresNSGA2 pins the engine restriction.
+func TestIslandRequiresNSGA2(t *testing.T) {
+	inst := sobelInstance()
+	cfg := islandCfg(1)
+	cfg.Engine = MOEAD
+	if _, err := FcCLR(inst, cfg); err == nil || !strings.Contains(err.Error(), "NSGA-II") {
+		t.Fatalf("MOEA/D island run not rejected: %v", err)
+	}
+}
+
+// TestIslandStageKeys pins the checkpoint key derivation other layers
+// (service stores, debugging tools) rely on.
+func TestIslandStageKeys(t *testing.T) {
+	if got := IslandStage("fcclr", 3); got != "fcclr/island3" {
+		t.Fatalf("IslandStage = %q", got)
+	}
+}
+
+// TestIslandProposedEndToEnd runs the two-stage Proposed strategy in
+// island mode: both stages split into islands, checkpoints key per stage
+// and island, and the run stays deterministic.
+func TestIslandProposedEndToEnd(t *testing.T) {
+	inst := sobelInstance()
+	flib := filteredLib(t, inst)
+	cfg := islandCfg(6)
+	cfg.Gens = 8
+
+	ref, err := Proposed(inst, cfg, flib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := frontBytes(t, ref)
+
+	ck := newMemCheckpointer()
+	ctx, cancel := context.WithCancel(context.Background())
+	icfg := cfg
+	icfg.Ctx = ctx
+	icfg.Checkpoint = ck
+	icfg.CheckpointEvery = 2
+	icfg.Progress = func(ev ProgressEvent) {
+		if ev.Stage == "fcclr" && ev.Generation == 4 {
+			cancel()
+		}
+	}
+	if _, err := Proposed(inst, icfg, flib); err == nil {
+		t.Fatal("interrupted island Proposed returned no error")
+	}
+	if ck.ResumeFront("pfclr") == nil {
+		t.Fatal("completed pfclr stage front missing")
+	}
+	rcfg := cfg
+	rcfg.Checkpoint = ck
+	res, err := Proposed(inst, rcfg, flib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frontBytes(t, res) != want {
+		t.Fatal("resumed island Proposed changed the front")
+	}
+}

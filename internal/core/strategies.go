@@ -107,7 +107,27 @@ type RunConfig struct {
 	// final front is still exact (see moea.SurrogateParams). Must be in
 	// (0,1]; 0 disables screening.
 	SurrogateFraction float64
+	// Islands, when > 1 together with MigrationEvery ≥ 1, splits each GA
+	// stage into that many cooperating islands (NSGA-II only): the
+	// population divides across islands, per-island seeds derive from
+	// Seed, and elite migrants travel a fixed ring every MigrationEvery
+	// generations. The merged front is byte-identical for a fixed
+	// (Seed, Islands, MigrationEvery, Migrants) regardless of worker
+	// placement or restarts. Islands ≤ 1 — or MigrationEvery = 0 — runs
+	// the plain single-population engine, byte-identical to a config
+	// without island fields.
+	Islands int
+	// MigrationEvery is the island migration period in generations.
+	MigrationEvery int
+	// Migrants is the number of elite migrants exchanged per epoch
+	// (default 2 when island mode is active).
+	Migrants int
 }
+
+// islandMode reports whether the config requests cooperative island
+// evolution. MigrationEvery = 0 deliberately degrades to the plain
+// single-population engine — the pinned compatibility contract.
+func (c RunConfig) islandMode() bool { return c.Islands > 1 && c.MigrationEvery > 0 }
 
 // ProgressEvent reports per-generation progress of one optimization stage
 // of a strategy run.
@@ -166,24 +186,30 @@ func runProblem(p moea.Problem, decode func(*moea.Genome) *schedule.Result, cfg 
 		}
 	}
 	params := cfg.paramsFor(stage)
-	if cfg.Checkpoint != nil {
-		params.Resume = cfg.Checkpoint.ResumeStage(stage)
-		params.CheckpointEvery = cfg.CheckpointEvery
-		if params.CheckpointEvery <= 0 {
-			params.CheckpointEvery = DefaultCheckpointEvery
-		}
-		ck := cfg.Checkpoint
-		params.OnCheckpoint = func(cp *moea.Checkpoint) { ck.SaveStage(stage, cp) }
-	}
 	var res *moea.Result
 	var err error
-	switch cfg.Engine {
-	case NSGA2:
-		res, err = moea.Run(p, params, seeds)
-	case MOEAD:
-		res, err = moea.RunMOEAD(p, params, seeds)
-	default:
-		return nil, fmt.Errorf("core: unknown engine %d", int(cfg.Engine))
+	if cfg.islandMode() {
+		// Island mode checkpoints per island under derived stage keys;
+		// the plain stage key only ever holds the completed front.
+		res, err = runIslandStage(p, cfg, params, seeds, stage)
+	} else {
+		if cfg.Checkpoint != nil {
+			params.Resume = cfg.Checkpoint.ResumeStage(stage)
+			params.CheckpointEvery = cfg.CheckpointEvery
+			if params.CheckpointEvery <= 0 {
+				params.CheckpointEvery = DefaultCheckpointEvery
+			}
+			ck := cfg.Checkpoint
+			params.OnCheckpoint = func(cp *moea.Checkpoint) { ck.SaveStage(stage, cp) }
+		}
+		switch cfg.Engine {
+		case NSGA2:
+			res, err = moea.Run(p, params, seeds)
+		case MOEAD:
+			res, err = moea.RunMOEAD(p, params, seeds)
+		default:
+			return nil, fmt.Errorf("core: unknown engine %d", int(cfg.Engine))
+		}
 	}
 	if err != nil {
 		return nil, err

@@ -50,6 +50,12 @@ type Config struct {
 	// a purely local run. Experiments without a wire form (Fig. 10,
 	// TABLE VII, ablations, task-level studies) always run locally.
 	Remote *dist.Coordinator
+	// Islands, MigrationEvery and Migrants switch every GA run into
+	// island mode (core.RunConfig semantics; all zero — the default —
+	// keeps the single-population engine and the canonical outputs).
+	Islands        int
+	MigrationEvery int
+	Migrants       int
 }
 
 // Default returns the paper-scale configuration: applications of 10–100
@@ -69,7 +75,10 @@ func Quick() Config {
 }
 
 func (c Config) run(seed int64) core.RunConfig {
-	return core.RunConfig{Pop: c.Pop, Gens: c.Gens, Seed: seed, Workers: c.Workers, Jobs: c.Jobs}
+	return core.RunConfig{
+		Pop: c.Pop, Gens: c.Gens, Seed: seed, Workers: c.Workers, Jobs: c.Jobs,
+		Islands: c.Islands, MigrationEvery: c.MigrationEvery, Migrants: c.Migrants,
+	}
 }
 
 // instance builds the synthetic DSE instance of one application size:

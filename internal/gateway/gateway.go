@@ -76,6 +76,11 @@ type Config struct {
 	// advertise an address (default 5s; negative disables). Workers that
 	// advertise none are judged by lease traffic alone.
 	ProbeEvery time.Duration
+	// DisableIslandHub turns off the island migration barrier the gateway
+	// mounts at POST /v1/island/exchange (worker-token gated, like the
+	// lease API). With the hub on, islands of one leased job may run on
+	// different workers and still exchange migrants deterministically.
+	DisableIslandHub bool
 	// Client is the HTTP client used for worker probes.
 	Client *http.Client
 }
@@ -115,6 +120,7 @@ type Gateway struct {
 	byName  map[string]*tenant
 	anon    *tenant // owner of jobs recovered under a tenant no longer configured
 	m       gwMetrics
+	islands *dist.MigrationHub // nil when DisableIslandHub
 	closed  chan struct{}
 	loopsWG sync.WaitGroup
 
@@ -190,6 +196,17 @@ func New(cfg Config) (*Gateway, error) {
 	g.mux.HandleFunc("GET /v1/jobs/{id}/events", g.handleEvents)
 	g.mux.HandleFunc("DELETE /v1/jobs/{id}", g.handleCancel)
 	g.mux.HandleFunc("POST /v1/lease", g.handleLease)
+	if !cfg.DisableIslandHub {
+		g.islands = dist.NewMigrationHub()
+		g.mux.HandleFunc("POST /v1/island/exchange", func(w http.ResponseWriter, r *http.Request) {
+			// Worker-token gated like the lease API: exchanges carry genomes
+			// derived from tenant specs, so tenants must not reach the hub.
+			if !g.authWorker(w, r) {
+				return
+			}
+			g.islands.ServeHTTP(w, r)
+		})
+	}
 	g.mux.HandleFunc("POST /v1/lease/{id}/progress", g.handleLeaseProgress)
 	g.mux.HandleFunc("POST /v1/lease/{id}/renew", g.handleLeaseRenew)
 	g.mux.HandleFunc("POST /v1/lease/{id}/complete", g.handleLeaseComplete)
@@ -215,6 +232,9 @@ func (g *Gateway) Close() {
 	case <-g.closed:
 	default:
 		close(g.closed)
+	}
+	if g.islands != nil {
+		g.islands.Close()
 	}
 	g.loopsWG.Wait()
 }
@@ -541,6 +561,11 @@ func (g *Gateway) finalize(j *gwJob, state, errMsg string, front *service.FrontW
 		g.cache.Add(j.hash, front)
 	}
 	g.mu.Unlock()
+	if g.islands != nil {
+		// Island runs name their barrier after the spec hash; a terminal
+		// job's barrier is dead weight (and would strand stragglers).
+		g.islands.Forget(j.hash)
+	}
 	g.journalFinish(j)
 }
 

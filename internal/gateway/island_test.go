@@ -1,0 +1,100 @@
+package gateway
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/moea"
+)
+
+func exchangeMigrant(from int) moea.Migrant {
+	return moea.Migrant{
+		From:       from,
+		Order:      []int{0, 1},
+		Genes:      []moea.Gene{{PE: 1}, {PE: 2}},
+		Objectives: []uint64{math.Float64bits(1.5), math.Float64bits(2.5)},
+	}
+}
+
+// TestGatewayIslandHub pins the gateway mount of the migration barrier:
+// the endpoint sits behind the worker token, a full epoch round-trips
+// through it, and finished runs are evicted from the hub.
+func TestGatewayIslandHub(t *testing.T) {
+	g, ts := newTestGateway(t, Config{WorkerToken: "wtok", ProbeEvery: -1})
+
+	// Tenant keys must not open the worker-facing barrier.
+	for name, hdr := range map[string]func(*http.Request){
+		"no-token":   func(r *http.Request) {},
+		"tenant-key": func(r *http.Request) { r.Header.Set("X-API-Key", "key1") },
+		"bad-token":  func(r *http.Request) { r.Header.Set("Authorization", "Bearer nope") },
+	} {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/island/exchange", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdr(req)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("%s answered %d, want 401", name, resp.StatusCode)
+		}
+	}
+
+	// With the token, a 2-island epoch completes and ring-routes migrants.
+	ex := &dist.IslandExchanger{BaseURL: ts.URL, Run: "gwrun", Islands: 2, Count: 1,
+		Token: "wtok"}
+	var got [2][]moea.Migrant
+	var errs [2]error
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = ex.Exchange(t.Context(), i, 0, []moea.Migrant{exchangeMigrant(i)})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("island %d exchange failed: %v", i, errs[i])
+		}
+		if len(got[i]) != 1 || got[i][0].From != 1-i {
+			t.Fatalf("island %d received %+v, want one migrant from island %d", i, got[i], 1-i)
+		}
+	}
+	if g.islands.Runs() != 1 {
+		t.Fatalf("hub tracks %d runs, want 1", g.islands.Runs())
+	}
+	g.islands.Forget("gwrun")
+	if g.islands.Runs() != 0 {
+		t.Fatalf("hub still tracks %d runs after Forget", g.islands.Runs())
+	}
+}
+
+// TestGatewayIslandHubDisabled pins the opt-out: with DisableIslandHub the
+// route is simply absent.
+func TestGatewayIslandHubDisabled(t *testing.T) {
+	cfg := Config{Tenants: []TenantConfig{testTenant()}, ProbeEvery: -1, DisableIslandHub: true}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g)
+	t.Cleanup(func() { ts.Close(); g.Close() })
+
+	resp, err := http.Post(ts.URL+"/v1/island/exchange", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled hub answered %d, want 404", resp.StatusCode)
+	}
+}

@@ -93,6 +93,19 @@ type Checkpoint struct {
 	Ideal      []uint64             `json:"ideal_bits,omitempty"`
 	Population []CheckpointSolution `json:"population"`
 	Archive    []CheckpointSolution `json:"archive"`
+	// Migration is the island's posting history — the migrants it
+	// contributed to every epoch barrier so far (empty for non-island
+	// runs). A coordinator restarting with a fresh barrier reseeds it
+	// from these logs, so islands resumed past an epoch are still
+	// represented at it and their peers are never stranded.
+	Migration []EpochMigrants `json:"migration,omitempty"`
+}
+
+// withMigration attaches an island's migration log to a snapshot and
+// returns it (no-op for runs without migration).
+func (cp *Checkpoint) withMigration(log []EpochMigrants) *Checkpoint {
+	cp.Migration = cloneMigrantLog(log)
+	return cp
 }
 
 // snapshotSolution deep-copies a live solution into durable form.

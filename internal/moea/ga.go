@@ -75,6 +75,13 @@ type Params struct {
 	// Surrogate configures surrogate screening (NSGA-II engine only; the
 	// problem must implement SurrogateProblem).
 	Surrogate SurrogateParams
+	// Migration, when non-nil, makes this run one island of an
+	// island-model search (NSGA-II engine only): every Migration.Every
+	// generations the run exchanges elite migrants with its ring
+	// neighbors through Migration.Exchange. Selection uses a dedicated
+	// epoch-seeded RNG and insertion is draw-free, so the main evolution
+	// stream is byte-identical with or without migration.
+	Migration *Migration
 }
 
 // GenerationInfo is a per-generation progress report delivered through
@@ -149,6 +156,9 @@ func (p Params) Validate() error {
 	if err := p.Surrogate.validate(); err != nil {
 		return err
 	}
+	if err := p.Migration.validate(p.PopSize); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -211,6 +221,7 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 	}
 	res := &Result{}
 	var pop, archive []*solution
+	var migLog []EpochMigrants
 	startGen := 0
 	if params.Resume != nil {
 		// Restore the checkpointed state instead of initializing: the
@@ -230,6 +241,7 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		src.FastForward(cp.Draws)
 		res.Evaluations = cp.Evaluations
 		startGen = cp.Generation
+		migLog = cloneMigrantLog(cp.Migration)
 		rankAndCrowd(pop)
 		params.emit(startGen, res.Evaluations, len(archive))
 	} else {
@@ -272,8 +284,27 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		if err := params.cancelled(); err != nil {
 			// The population is at the gen-generation boundary; snapshot it
 			// so the interrupted run resumes here instead of restarting.
-			params.checkpointOnCancel(snapshotRun(gen, res.Evaluations, src.Draws(), pop, archive))
+			params.checkpointOnCancel(snapshotRun(gen, res.Evaluations, src.Draws(), pop, archive).withMigration(migLog))
 			return nil, err
+		}
+		if params.Migration.due(gen) {
+			// Epoch boundary: exchange migrants before any variation of
+			// this generation. Checkpoints at a boundary therefore hold
+			// pre-migration state, and a resumed island re-posts the
+			// boundary epoch byte-identically (the hub replays the cached
+			// exchange, so peers that moved on are unaffected).
+			var err error
+			archive, err = runMigration(params.Ctx, p, &params, gen, pop, archive, archiveCap, &migLog)
+			if err != nil {
+				if ctxErr := params.cancelled(); ctxErr != nil {
+					// Blocked at the barrier through a shutdown: snapshot
+					// so the island resumes at this boundary and re-runs
+					// the exchange.
+					params.checkpointOnCancel(snapshotRun(gen, res.Evaluations, src.Draws(), pop, archive).withMigration(migLog))
+					return nil, ctxErr
+				}
+				return nil, err
+			}
 		}
 		// Variation: tournaments pick parents; the paper's two crossovers
 		// and two mutations produce the offspring.
@@ -358,7 +389,7 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		rankAndCrowd(pop)
 		params.emit(gen+1, res.Evaluations, len(archive))
 		if params.checkpointDue(gen + 1) {
-			params.OnCheckpoint(snapshotRun(gen+1, res.Evaluations, src.Draws(), pop, archive))
+			params.OnCheckpoint(snapshotRun(gen+1, res.Evaluations, src.Draws(), pop, archive).withMigration(migLog))
 		}
 	}
 

@@ -1,0 +1,54 @@
+package moea
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzMigrationDecode hammers the migrant wire decoder: whatever arrives
+// from the network, the decoder must never panic, and anything it accepts
+// must satisfy ValidateMigrant — in particular no NaN/Inf objective may
+// survive (the same policy tgff.parseFinite applies to model inputs), no
+// non-permutation order, and re-encoding must round-trip.
+func FuzzMigrationDecode(f *testing.F) {
+	seed := [][]byte{
+		[]byte(`[]`),
+		[]byte(`null`),
+		[]byte(`{}`),
+		[]byte(`[{"from":0,"order":[0,1],"genes":[{},{}],"obj_bits":[4607182418800017408],"violation_bits":0}]`),
+		[]byte(`[{"from":1,"order":[1,0,2],"genes":[{"pe":1},{"impl":2},{"mode":1}],"obj_bits":[0,4611686018427387904],"violation_bits":0}]`),
+		// NaN objective bits (0x7FF8000000000000): must be rejected.
+		[]byte(`[{"from":0,"order":[0],"genes":[{}],"obj_bits":[9221120237041090560],"violation_bits":0}]`),
+		// +Inf violation bits (0x7FF0000000000000): must be rejected.
+		[]byte(`[{"from":0,"order":[0],"genes":[{}],"obj_bits":[0],"violation_bits":9218868437227405312}]`),
+		// Duplicate order entries: not a permutation.
+		[]byte(`[{"from":0,"order":[0,0],"genes":[{},{}],"obj_bits":[0],"violation_bits":0}]`),
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ms, err := DecodeMigrants(data)
+		if err != nil {
+			return
+		}
+		for i, m := range ms {
+			if err := ValidateMigrant(m); err != nil {
+				t.Fatalf("decoder accepted invalid migrant %d: %v", i, err)
+			}
+			for j, b := range m.Objectives {
+				if v := math.Float64frombits(b); math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("migrant %d objective %d is non-finite", i, j)
+				}
+			}
+		}
+		// Accepted payloads must survive a round trip.
+		blob, err := EncodeMigrants(ms)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := DecodeMigrants(blob); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

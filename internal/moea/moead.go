@@ -30,6 +30,9 @@ func RunMOEAD(p Problem, params Params, seeds []*Genome) (*Result, error) {
 	if params.Surrogate.Enabled {
 		return nil, fmt.Errorf("moea: surrogate screening requires the NSGA-II engine")
 	}
+	if params.Migration != nil {
+		return nil, fmt.Errorf("moea: island migration requires the NSGA-II engine")
+	}
 	useDelta := !params.DisableDelta
 	n := p.NumTasks()
 	src := newCountingSource(params.Seed)

@@ -88,6 +88,15 @@ type JobSpec struct {
 	// exact. SurrogateFraction defaults to 0.5 and must lie in (0,1].
 	Surrogate         bool    `json:"surrogate,omitempty"`
 	SurrogateFraction float64 `json:"surrogate_fraction,omitempty"`
+	// Islands splits each GA stage into that many cooperating islands
+	// (NSGA-II engine only; 0 or 1 is the plain single population).
+	// MigrationEvery is the epoch length in generations between elite
+	// exchanges over the fixed ring; Migrants is the elites sent per island
+	// per epoch (default 2). Results are deterministic for fixed knobs, so
+	// all three are part of the spec hash.
+	Islands        int `json:"islands,omitempty"`
+	MigrationEvery int `json:"migration_every,omitempty"`
+	Migrants       int `json:"migrants,omitempty"`
 }
 
 var systemObjectiveNames = map[string]core.SystemObjective{
@@ -247,6 +256,38 @@ func (s *JobSpec) Normalize() error {
 	} else if s.SurrogateFraction != 0 {
 		return fmt.Errorf("service: surrogate_fraction requires surrogate")
 	}
+	if s.Islands < 0 {
+		return fmt.Errorf("service: islands = %d must be non-negative", s.Islands)
+	}
+	if s.Islands <= 1 {
+		// 0 and 1 are both the plain single population; zero all three knobs
+		// so the degraded forms hash (and so cache) identically.
+		if s.MigrationEvery != 0 || s.Migrants != 0 {
+			return fmt.Errorf("service: migration_every/migrants require islands ≥ 2")
+		}
+		s.Islands = 0
+	} else {
+		if s.Engine != "nsga2" {
+			return fmt.Errorf("service: island mode requires the nsga2 engine")
+		}
+		if s.Islands > 64 {
+			return fmt.Errorf("service: islands = %d exceeds the 64-island cap", s.Islands)
+		}
+		if s.MigrationEvery <= 0 {
+			return fmt.Errorf("service: islands ≥ 2 requires migration_every ≥ 1")
+		}
+		if s.Pop < 2*s.Islands {
+			return fmt.Errorf("service: population %d too small for %d islands (need ≥ %d)",
+				s.Pop, s.Islands, 2*s.Islands)
+		}
+		if s.Migrants == 0 {
+			s.Migrants = 2
+		}
+		if s.Migrants < 0 || s.Migrants >= s.Pop/s.Islands {
+			return fmt.Errorf("service: migrants = %d outside [1,%d) for pop %d over %d islands",
+				s.Migrants, s.Pop/s.Islands, s.Pop, s.Islands)
+		}
+	}
 	return nil
 }
 
@@ -379,6 +420,9 @@ func ExecuteOnHooks(ctx context.Context, inst *core.Instance, flib *tdse.Library
 		Checkpoint:      hooks.Checkpoint,
 		CheckpointEvery: hooks.CheckpointEvery,
 		DisableDelta:    s.NoDelta,
+		Islands:         s.Islands,
+		MigrationEvery:  s.MigrationEvery,
+		Migrants:        s.Migrants,
 	}
 	if s.Surrogate {
 		cfg.SurrogateFraction = s.SurrogateFraction

@@ -1,0 +1,57 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pareto"
+)
+
+// benchmarkIslandUplift runs the equal-budget island-vs-single comparison
+// behind BENCH_ISLANDS_PR8.json: for each pinned seed, one single-population
+// run and one 2-island run at the identical evaluation budget, reporting the
+// mean relative hypervolume uplift as a custom metric. The uplift metric is
+// fully deterministic (every run is seeded), so the committed snapshot is a
+// quality claim, not a timing sample.
+func benchmarkIslandUplift(b *testing.B, inst *core.Instance) {
+	seeds := []int64{1, 2, 3, 4, 5}
+	var meanRel float64
+	var evals int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		meanRel, evals = 0, 0
+		for _, seed := range seeds {
+			cfg := core.RunConfig{Pop: 32, Gens: 24, Seed: seed}
+			single, err := core.FcCLR(inst, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			icfg := cfg
+			icfg.Islands = 2
+			icfg.MigrationEvery = 2
+			icfg.Migrants = 2
+			island, err := core.FcCLR(inst, icfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if island.Evaluations != single.Evaluations {
+				b.Fatalf("seed %d: budgets diverged: island %d vs single %d",
+					seed, island.Evaluations, single.Evaluations)
+			}
+			so, io := single.ObjectiveMatrix(), island.ObjectiveMatrix()
+			ref := pareto.ReferencePoint(0.05, so, io)
+			hvS := pareto.Hypervolume(so, ref)
+			hvI := pareto.Hypervolume(io, ref)
+			meanRel += (hvI - hvS) / hvS / float64(len(seeds))
+			evals += island.Evaluations
+		}
+	}
+	b.ReportMetric(100*meanRel, "hv-uplift-%")
+	b.ReportMetric(float64(evals), "evals")
+}
+
+func BenchmarkIslandsSobel(b *testing.B) { benchmarkIslandUplift(b, benchSobelInstance()) }
+func BenchmarkIslandsSynthetic(b *testing.B) {
+	benchmarkIslandUplift(b, benchSyntheticInstance(10))
+}
