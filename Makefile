@@ -54,25 +54,37 @@ bench-sweep:
 	$(GO) test -bench 'Sweep|Fig|Table' -benchtime 1x .
 
 # Machine-readable perf snapshot: one pass over the sweep/figure/table
-# benchmarks with -benchmem, converted to JSON by cmd/benchsnap. Set
-# BENCH_BASELINE to a prior snapshot (JSON or raw bench text) to embed
-# percent deltas per benchmark.
-BENCH_SNAPSHOT ?= BENCH_PR4.json
+# benchmarks plus the moea selection-path kernels (non-dominated sort,
+# archive update, crowding) with -benchmem, converted to JSON by
+# cmd/benchsnap. Set BENCH_BASELINE to a prior snapshot (JSON or raw bench
+# text) to embed percent deltas per benchmark.
+# Both snapshot and gate take best-of-3 per benchmark (-count=3, collapsed
+# to the fastest run by benchsnap): preemption and VM CPU steal only ever
+# add time, so the minimum is the robust timing estimate. The suite
+# benchmarks run one iteration per count (each is ~100ms of real DSE
+# work); the microsecond-scale selection kernels need a large fixed
+# iteration count on top to be measurable at all.
+BENCH_KERNELS := NonDominatedSort|UpdateArchive|Crowding
+BENCH_SUITE_CMD = $(GO) test -run '^$$' -bench 'Sweep|Fig|Table' -benchmem -benchtime 1x -count 3 .
+BENCH_KERNEL_CMD = $(GO) test -run '^$$' -bench '$(BENCH_KERNELS)' -benchmem -benchtime 200x -count 3 ./internal/moea
+BENCH_SNAPSHOT ?= BENCH_PR9.json
 BENCH_BASELINE ?=
 bench-snapshot:
-	$(GO) test -run '^$$' -bench 'Sweep|Fig|Table' -benchmem -benchtime 1x . | \
+	{ $(BENCH_SUITE_CMD) && $(BENCH_KERNEL_CMD); } | \
 		$(GO) run ./cmd/benchsnap -o $(BENCH_SNAPSHOT) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))
 
-# Regression gate: run the sweep/figure/table benchmarks fresh and fail if
-# any shared benchmark regressed past the thresholds vs the last committed
-# snapshot (highest-numbered BENCH_*.json by default). Tune with
-# BENCH_TIME_PCT / BENCH_ALLOC_PCT — CI uses a looser time bound to absorb
-# shared-runner variance.
+# Regression gate: run the sweep/figure/table/kernel benchmarks fresh and
+# fail if any shared benchmark regressed past the thresholds vs the last
+# committed snapshot (highest-numbered BENCH_*.json by default). Allocs/op
+# is deterministic and carries the tight bound; wall-clock — even as
+# best-of-3 — swings with virtualized-CPU phases on shared hosts, so the
+# time bound matches the CI shared-runner setting. Tighten with
+# BENCH_TIME_PCT on quiet bare-metal boxes.
 BENCH_COMPARE_BASE ?= $(lastword $(sort $(wildcard BENCH_PR*.json)))
-BENCH_TIME_PCT ?= 10
+BENCH_TIME_PCT ?= 35
 BENCH_ALLOC_PCT ?= 10
 bench-compare:
-	$(GO) test -run '^$$' -bench 'Sweep|Fig|Table' -benchmem -benchtime 1x . | \
+	{ $(BENCH_SUITE_CMD) && $(BENCH_KERNEL_CMD); } | \
 		$(GO) run ./cmd/benchsnap -compare -baseline $(BENCH_COMPARE_BASE) \
 			-max-time-pct $(BENCH_TIME_PCT) -max-alloc-pct $(BENCH_ALLOC_PCT)
 	$(GO) test -run '^$$' -bench 'Islands' -benchmem -benchtime 1x . | \

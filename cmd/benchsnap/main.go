@@ -208,6 +208,23 @@ func parseBenchText(r io.Reader) (*Snapshot, error) {
 	sort.Slice(snap.Benchmarks, func(i, j int) bool {
 		return snap.Benchmarks[i].Name < snap.Benchmarks[j].Name
 	})
+	// Repeated runs of one benchmark (`go test -count=N`, the Makefile's
+	// best-of-N noise suppression) collapse to the fastest run: scheduler
+	// preemption and VM CPU steal only ever add time, so the minimum is
+	// the honest estimate of a benchmark's cost. Allocs/op and the custom
+	// metrics are deterministic across runs, so taking the whole fastest
+	// entry loses nothing.
+	merged := snap.Benchmarks[:0]
+	for _, b := range snap.Benchmarks {
+		if n := len(merged); n > 0 && merged[n-1].Name == b.Name {
+			if b.NsPerOp < merged[n-1].NsPerOp {
+				merged[n-1] = b
+			}
+			continue
+		}
+		merged = append(merged, b)
+	}
+	snap.Benchmarks = merged
 	return snap, nil
 }
 

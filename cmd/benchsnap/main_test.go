@@ -41,6 +41,26 @@ func TestParseBenchText(t *testing.T) {
 	}
 }
 
+// TestParseBenchTextBestOfN pins the -count=N collapse: repeated runs of
+// one benchmark keep only the fastest entry (noise only adds time).
+func TestParseBenchTextBestOfN(t *testing.T) {
+	const repeated = `BenchmarkUpdateArchiveIncremental-8 	200	20795 ns/op	312 B/op	4 allocs/op
+BenchmarkUpdateArchiveIncremental-8 	200	12543 ns/op	312 B/op	4 allocs/op
+BenchmarkUpdateArchiveIncremental-8 	200	15940 ns/op	312 B/op	4 allocs/op
+BenchmarkCrowding-8 	200	499 ns/op	0 B/op	0 allocs/op
+`
+	snap, err := parseBenchText(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2 after merge", len(snap.Benchmarks))
+	}
+	if b := snap.Benchmarks[1]; b.NsPerOp != 12543 || b.AllocsPerOp != 4 {
+		t.Fatalf("merged entry not the fastest run: %+v", b)
+	}
+}
+
 func TestAnnotateAgainstTextBaseline(t *testing.T) {
 	dir := t.TempDir()
 	basePath := filepath.Join(dir, "base.txt")

@@ -71,6 +71,9 @@ func run(args []string, w io.Writer) error {
 	islands := fs.Int("islands", 0, "split each GA stage into this many cooperating islands (nsga2 only; 0/1 = single population)")
 	migrationEvery := fs.Int("migration-every", 0, "generations between island migrant exchanges (required with -islands ≥ 2)")
 	migrants := fs.Int("migrants", 0, "elites exchanged per island per epoch (0 = default 2)")
+	converge := fs.Bool("converge", false, "stop GA stages early once the archive hypervolume plateaus (incompatible with -islands)")
+	convergeWindow := fs.Int("converge-window", 0, "consecutive low-improvement generations that end a stage under -converge (0 = default 8)")
+	convergeEps := fs.Float64("converge-eps", 0, "relative hypervolume-improvement threshold under -converge (0 = default 1e-3)")
 	jsonOut := fs.Bool("json", false, "emit the front as JSON in the service wire format")
 	ganttChart := fs.Bool("gantt", false, "render the most reliable mapping as a Gantt chart (proposed/fcclr only)")
 	remote := fs.String("remote", "", "comma-separated clrearlyd worker addresses; offload the run with local fallback")
@@ -97,6 +100,9 @@ func run(args []string, w io.Writer) error {
 		Islands:           *islands,
 		MigrationEvery:    *migrationEvery,
 		Migrants:          *migrants,
+		Converge:          *converge,
+		ConvergeWindow:    *convergeWindow,
+		ConvergeEps:       *convergeEps,
 		Constraints: service.Constraints{
 			MaxMakespanUS:    *maxMakespan,
 			MinFunctionalRel: *minFRel,

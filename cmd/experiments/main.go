@@ -70,6 +70,9 @@ func run(args []string, w io.Writer) error {
 	islands := fs.Int("islands", 0, "run every GA in island mode with this many islands (0 = single population)")
 	migrationEvery := fs.Int("migration-every", 0, "generations between island migrant exchanges (with -islands)")
 	migrants := fs.Int("migrants", 0, "elites exchanged per island per epoch (0 = default 2)")
+	converge := fs.Bool("converge", false, "stop every GA stage early once its archive hypervolume plateaus (incompatible with -islands)")
+	convergeWindow := fs.Int("converge-window", 0, "consecutive low-improvement generations that end a stage under -converge (0 = default 8)")
+	convergeEps := fs.Float64("converge-eps", 0, "relative hypervolume-improvement threshold under -converge (0 = default 1e-3)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,6 +92,16 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintf(os.Stderr, "eval accel: delta %d reused / %d prefix / %d full, %d metrics reused, %d batch-warmed; surrogate %d proxied / %d screened out; chain solves %d paired / %d solo\n",
 				a.DeltaParentReuse, a.DeltaPrefixRuns, a.DeltaFullRuns, a.MetricsReused, a.BatchWarmed,
 				a.ProxyEvals, a.ScreenedOut, a.PairedSolves, a.SoloSolves)
+		}
+		s := core.SelectionTotals()
+		if s.GenerationsRun > 0 {
+			fmt.Fprintf(os.Stderr, "selection: %.2fs sorting, %.2fs archive; %d/%d generations run",
+				float64(s.SortNanos)/1e9, float64(s.ArchiveNanos)/1e9, s.GenerationsRun, s.GenerationsBudget)
+			if s.PlateauStops > 0 {
+				fmt.Fprintf(os.Stderr, "; plateau stopped %d runs, saved %d generations (last hypervolume %.6g)",
+					s.PlateauStops, s.GenerationsSaved, s.LastHypervolume)
+			}
+			fmt.Fprintln(os.Stderr)
 		}
 	}()
 
@@ -142,6 +155,9 @@ func run(args []string, w io.Writer) error {
 	cfg.Islands = *islands
 	cfg.MigrationEvery = *migrationEvery
 	cfg.Migrants = *migrants
+	cfg.Converge = *converge
+	cfg.ConvergeWindow = *convergeWindow
+	cfg.ConvergeEps = *convergeEps
 	if *workers != "" {
 		coord := dist.New(strings.Split(*workers, ","), dist.Options{})
 		defer func() {

@@ -65,3 +65,10 @@ func AccelTotals() AccelStats {
 		SoloSolves:       pair.Solo,
 	}
 }
+
+// SelectionTotals exposes the engine-level selection-path and
+// plateau-convergence counters to the service layers — the source of the
+// daemon's and gateway's /metrics selection and convergence blocks.
+func SelectionTotals() moea.SelectionStats {
+	return moea.SelectionTotals()
+}

@@ -232,6 +232,17 @@ func TestIslandRequiresNSGA2(t *testing.T) {
 	}
 }
 
+// TestIslandRejectsPlateau pins the island/plateau exclusion: an
+// early-stopping island would strand its peers at the epoch barrier.
+func TestIslandRejectsPlateau(t *testing.T) {
+	inst := sobelInstance()
+	cfg := islandCfg(1)
+	cfg.TerminateOnPlateau = true
+	if _, err := FcCLR(inst, cfg); err == nil || !strings.Contains(err.Error(), "plateau") {
+		t.Fatalf("island run with plateau termination not rejected: %v", err)
+	}
+}
+
 // TestIslandStageKeys pins the checkpoint key derivation other layers
 // (service stores, debugging tools) rely on.
 func TestIslandStageKeys(t *testing.T) {

@@ -122,6 +122,16 @@ type RunConfig struct {
 	// Migrants is the number of elite migrants exchanged per epoch
 	// (default 2 when island mode is active).
 	Migrants int
+	// TerminateOnPlateau, when set, lets every GA stage stop early once its
+	// archive hypervolume has plateaued (see moea.Params.TerminateOnPlateau).
+	// Off by default — runs then exhaust their full generation budget and
+	// remain byte-identical to configs without the knob. Incompatible with
+	// island mode.
+	TerminateOnPlateau bool
+	// PlateauWindow / PlateauEps tune the plateau detector (0 = the moea
+	// package defaults). Meaningful only with TerminateOnPlateau.
+	PlateauWindow int
+	PlateauEps    float64
 }
 
 // islandMode reports whether the config requests cooperative island
@@ -160,6 +170,11 @@ func (c RunConfig) paramsFor(stage string) moea.Params {
 	if c.SurrogateFraction > 0 {
 		p.Surrogate = moea.SurrogateParams{Enabled: true, Fraction: c.SurrogateFraction}
 	}
+	if c.TerminateOnPlateau {
+		p.TerminateOnPlateau = true
+		p.PlateauWindow = c.PlateauWindow
+		p.PlateauEps = c.PlateauEps
+	}
 	if c.Progress != nil {
 		progress := c.Progress
 		p.OnGeneration = func(g moea.GenerationInfo) {
@@ -189,6 +204,9 @@ func runProblem(p moea.Problem, decode func(*moea.Genome) *schedule.Result, cfg 
 	var res *moea.Result
 	var err error
 	if cfg.islandMode() {
+		if cfg.TerminateOnPlateau {
+			return nil, fmt.Errorf("core: plateau termination is incompatible with island mode")
+		}
 		// Island mode checkpoints per island under derived stage keys;
 		// the plain stage key only ever holds the completed front.
 		res, err = runIslandStage(p, cfg, params, seeds, stage)

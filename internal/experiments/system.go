@@ -57,6 +57,9 @@ func (c Config) systemSpec(method string, tasks, gens int, seed int64) *service.
 		Islands:        c.Islands,
 		MigrationEvery: c.MigrationEvery,
 		Migrants:       c.Migrants,
+		Converge:       c.Converge,
+		ConvergeWindow: c.ConvergeWindow,
+		ConvergeEps:    c.ConvergeEps,
 	}
 }
 

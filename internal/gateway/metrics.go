@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/service"
 )
 
@@ -132,6 +133,12 @@ type MetricsWire struct {
 	ProgressEvents int64 `json:"progress_events"`
 	SSESubscribers int64 `json:"sse_subscribers"`
 
+	// Selection / Convergence mirror the daemon's engine-level selection and
+	// plateau-termination counters for work executed in this process (the
+	// gateway's embedded local worker).
+	Selection   service.SelectionWire   `json:"selection"`
+	Convergence service.ConvergenceWire `json:"convergence"`
+
 	CacheSize     int `json:"cache_size"`
 	CacheCapacity int `json:"cache_capacity"`
 	// Store gauges are present when the gateway runs with a durable store.
@@ -169,6 +176,15 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if hits := m.Dedup.InflightAttach + m.Dedup.CacheHits + m.Dedup.StoreHits; hits+m.Dedup.Misses > 0 {
 		m.Dedup.HitRate = float64(hits) / float64(hits+m.Dedup.Misses)
+	}
+	sel := core.SelectionTotals()
+	m.Selection = service.SelectionWire{SortNanos: sel.SortNanos, ArchiveNanos: sel.ArchiveNanos}
+	m.Convergence = service.ConvergenceWire{
+		GenerationsRun:    sel.GenerationsRun,
+		GenerationsBudget: sel.GenerationsBudget,
+		GenerationsSaved:  sel.GenerationsSaved,
+		PlateauStops:      sel.PlateauStops,
+		LastHypervolume:   sel.LastHypervolume,
 	}
 	d := g.queue.depths()
 	m.Queue = QueueDepthsWire{High: d[classHigh], Normal: d[classNormal], Low: d[classLow], Capacity: g.cfg.QueueCap}

@@ -99,12 +99,23 @@ type Checkpoint struct {
 	// from these logs, so islands resumed past an epoch are still
 	// represented at it and their peers are never stranded.
 	Migration []EpochMigrants `json:"migration,omitempty"`
+	// Plateau is the hypervolume-plateau tracking state (nil unless the run
+	// tracks convergence and has fixed its reference point), so a resumed
+	// run's remaining plateau decisions match the uninterrupted run's.
+	Plateau *PlateauCheckpoint `json:"plateau,omitempty"`
 }
 
 // withMigration attaches an island's migration log to a snapshot and
 // returns it (no-op for runs without migration).
 func (cp *Checkpoint) withMigration(log []EpochMigrants) *Checkpoint {
 	cp.Migration = cloneMigrantLog(log)
+	return cp
+}
+
+// withPlateau attaches the plateau-termination state to a snapshot and
+// returns it (no-op for runs that do not track convergence).
+func (cp *Checkpoint) withPlateau(ps *plateauState) *Checkpoint {
+	cp.Plateau = ps.snapshot()
 	return cp
 }
 

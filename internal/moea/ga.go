@@ -3,13 +3,13 @@ package moea
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/pareto"
 	"repro/internal/sweep"
 )
 
@@ -82,6 +82,22 @@ type Params struct {
 	// epoch-seeded RNG and insertion is draw-free, so the main evolution
 	// stream is byte-identical with or without migration.
 	Migration *Migration
+	// TerminateOnPlateau, when set, stops the run early once the archive
+	// hypervolume has plateaued: PlateauWindow consecutive generations
+	// with relative improvement below PlateauEps (defaults
+	// DefaultPlateauWindow / DefaultPlateauEps when zero). The tracking is
+	// observation-only — it consumes no RNG draws and perturbs no
+	// selection decision — so a run that never hits the plateau is
+	// byte-identical to one with termination off, and the default-off
+	// setting preserves every pinned golden. Incompatible with Migration:
+	// an early-stopping island would strand its peers at the epoch
+	// barrier.
+	TerminateOnPlateau bool
+	// PlateauWindow is the plateau length in generations (0 = default).
+	PlateauWindow int
+	// PlateauEps is the relative hypervolume-improvement threshold below
+	// which a generation counts toward the plateau (0 = default).
+	PlateauEps float64
 }
 
 // GenerationInfo is a per-generation progress report delivered through
@@ -159,6 +175,19 @@ func (p Params) Validate() error {
 	if err := p.Migration.validate(p.PopSize); err != nil {
 		return err
 	}
+	if p.TerminateOnPlateau {
+		if p.Migration != nil {
+			return fmt.Errorf("moea: plateau termination is incompatible with island migration")
+		}
+		if p.PlateauWindow < 0 {
+			return fmt.Errorf("moea: plateau window %d must be ≥ 0", p.PlateauWindow)
+		}
+		if math.IsNaN(p.PlateauEps) || math.IsInf(p.PlateauEps, 0) || p.PlateauEps < 0 {
+			return fmt.Errorf("moea: plateau epsilon %v must be finite and ≥ 0", p.PlateauEps)
+		}
+	} else if p.PlateauWindow != 0 || p.PlateauEps != 0 {
+		return fmt.Errorf("moea: plateau window/epsilon require TerminateOnPlateau")
+	}
 	return nil
 }
 
@@ -175,6 +204,12 @@ type Result struct {
 	Front []Solution
 	// Evaluations counts fitness evaluations performed.
 	Evaluations int
+	// GenerationsRun counts completed generations — equal to the
+	// configured budget unless plateau termination stopped the run early.
+	GenerationsRun int
+	// PlateauStopped reports that the run ended on a hypervolume plateau
+	// before exhausting its generation budget.
+	PlateauStopped bool
 }
 
 // FrontObjectives extracts the objective vectors of the front.
@@ -219,10 +254,25 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 	if archiveCap <= 0 {
 		archiveCap = 256
 	}
+	// Per-run selection machinery: one scratch (islands run engines
+	// concurrently, so nothing is shared across runs), the incremental
+	// archive, and the plateau tracker (inert unless TerminateOnPlateau).
+	sc := new(selScratch)
+	arch := newArchiveState(archiveCap, sc)
+	plateau := newPlateauState(params, p.NumObjectives())
+	arch.plateau = plateau
 	res := &Result{}
-	var pop, archive []*solution
+	var pop []*solution
 	var migLog []EpochMigrants
 	startGen := 0
+	doneGen := 0
+	defer func() {
+		flushSelectionTotals(sc, arch, plateau, startGen, doneGen, params.Generations, res.PlateauStopped)
+	}()
+	snap := func(gen int) *Checkpoint {
+		return snapshotRun(gen, res.Evaluations, src.Draws(), pop, arch.members).
+			withMigration(migLog).withPlateau(plateau)
+	}
 	if params.Resume != nil {
 		// Restore the checkpointed state instead of initializing: the
 		// population and archive carry bit-exact fitness values, and the RNG
@@ -235,15 +285,21 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		if pop, err = restoreSolutions(cp.Population, n, p.NumObjectives()); err != nil {
 			return nil, err
 		}
+		var archive []*solution
 		if archive, err = restoreSolutions(cp.Archive, n, p.NumObjectives()); err != nil {
+			return nil, err
+		}
+		arch.restore(archive)
+		if err := plateau.restore(cp.Plateau, arch.members); err != nil {
 			return nil, err
 		}
 		src.FastForward(cp.Draws)
 		res.Evaluations = cp.Evaluations
 		startGen = cp.Generation
+		doneGen = startGen
 		migLog = cloneMigrantLog(cp.Migration)
-		rankAndCrowd(pop)
-		params.emit(startGen, res.Evaluations, len(archive))
+		sc.rankAndCrowd(pop)
+		params.emit(startGen, res.Evaluations, len(arch.members))
 	} else {
 		// Initial population: seeds first (truncated to PopSize), then random.
 		pop = make([]*solution, 0, params.PopSize)
@@ -276,15 +332,24 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		}
 		evaluate(p, pop, params.Workers, useDelta)
 		res.Evaluations += len(pop)
-		archive = updateArchive(archive, pop, archiveCap)
-		rankAndCrowd(pop)
-		params.emit(0, res.Evaluations, len(archive))
+		arch.add(pop)
+		sc.rankAndCrowd(pop)
+		plateau.observe(arch)
+		params.emit(0, res.Evaluations, len(arch.members))
 	}
+	// Selection-path buffers, reused every generation: the parents∪offspring
+	// union (exactly 2·PopSize), the offspring list, and the ping-pong spare
+	// that becomes the next population while the outgoing population's array
+	// is recycled. Solutions themselves are freshly allocated per generation;
+	// only the pointer slices are reused.
+	unionBuf := make([]*solution, 0, 2*params.PopSize)
+	offBuf := make([]*solution, 0, params.PopSize)
+	spare := make([]*solution, 0, params.PopSize)
 	for gen := startGen; gen < params.Generations; gen++ {
 		if err := params.cancelled(); err != nil {
 			// The population is at the gen-generation boundary; snapshot it
 			// so the interrupted run resumes here instead of restarting.
-			params.checkpointOnCancel(snapshotRun(gen, res.Evaluations, src.Draws(), pop, archive).withMigration(migLog))
+			params.checkpointOnCancel(snap(gen))
 			return nil, err
 		}
 		if params.Migration.due(gen) {
@@ -293,14 +358,12 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 			// pre-migration state, and a resumed island re-posts the
 			// boundary epoch byte-identically (the hub replays the cached
 			// exchange, so peers that moved on are unaffected).
-			var err error
-			archive, err = runMigration(params.Ctx, p, &params, gen, pop, archive, archiveCap, &migLog)
-			if err != nil {
+			if err := runMigration(params.Ctx, p, &params, gen, pop, arch, &migLog); err != nil {
 				if ctxErr := params.cancelled(); ctxErr != nil {
 					// Blocked at the barrier through a shutdown: snapshot
 					// so the island resumes at this boundary and re-runs
 					// the exchange.
-					params.checkpointOnCancel(snapshotRun(gen, res.Evaluations, src.Draws(), pop, archive).withMigration(migLog))
+					params.checkpointOnCancel(snap(gen))
 					return nil, ctxErr
 				}
 				return nil, err
@@ -308,7 +371,7 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		}
 		// Variation: tournaments pick parents; the paper's two crossovers
 		// and two mutations produce the offspring.
-		offspring := make([]*solution, 0, params.PopSize)
+		offspring := offBuf[:0]
 		for len(offspring) < params.PopSize {
 			pa := tournament(rng, pop, params.TournamentK)
 			pb := tournament(rng, pop, params.TournamentK)
@@ -352,7 +415,7 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 				s.approx = true
 			}
 			surrogateTotals.proxy.Add(uint64(len(offspring)))
-			evalBatch = screenTop(offspring, surrogateQuota(params))
+			evalBatch = screenTop(sc, offspring, surrogateQuota(params))
 			surrogateTotals.screened.Add(uint64(len(offspring) - len(evalBatch)))
 			for _, s := range evalBatch {
 				s.approx = false
@@ -368,30 +431,41 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 			}
 		}
 		res.Evaluations += len(evalBatch)
-		archive = updateArchive(archive, offspring, archiveCap)
+		arch.add(offspring)
 
 		// Environmental selection over parents ∪ offspring.
-		union := append(append([]*solution{}, pop...), offspring...)
-		next := make([]*solution, 0, params.PopSize)
-		for _, f := range nonDominatedSort(union) {
-			assignCrowding(f)
+		union := append(unionBuf[:0], pop...)
+		union = append(union, offspring...)
+		unionBuf = union[:0]
+		next := spare[:0]
+		for _, f := range sc.nonDominatedSort(union) {
+			sc.assignCrowding(f)
 			if len(next)+len(f) <= params.PopSize {
 				next = append(next, f...)
 				continue
 			}
-			// Partial front: keep the most crowding-distance-diverse.
-			rest := append([]*solution{}, f...)
-			sort.Slice(rest, func(i, j int) bool { return rest[i].crowd > rest[j].crowd })
-			next = append(next, rest[:params.PopSize-len(next)]...)
+			// Partial front: keep the most crowding-distance-diverse. The
+			// front slice is scratch-owned and not read again before the next
+			// sort, so it can be reordered in place.
+			sort.Sort(crowdDescSorter(f))
+			next = append(next, f[:params.PopSize-len(next)]...)
 			break
 		}
+		spare = pop[:0]
 		pop = next
-		rankAndCrowd(pop)
-		params.emit(gen+1, res.Evaluations, len(archive))
+		sc.rankAndCrowd(pop)
+		doneGen = gen + 1
+		stop := plateau.observe(arch)
+		params.emit(gen+1, res.Evaluations, len(arch.members))
 		if params.checkpointDue(gen + 1) {
-			params.OnCheckpoint(snapshotRun(gen+1, res.Evaluations, src.Draws(), pop, archive).withMigration(migLog))
+			params.OnCheckpoint(snap(gen + 1))
+		}
+		if stop {
+			res.PlateauStopped = true
+			break
 		}
 	}
+	res.GenerationsRun = doneGen
 
 	if surrogate != nil {
 		// Exactness-preserving final pass: any population member still
@@ -409,11 +483,11 @@ func Run(p Problem, params Params, seeds []*Genome) (*Result, error) {
 				s.approx = false
 			}
 			res.Evaluations += len(approx)
-			archive = updateArchive(archive, approx, archiveCap)
+			arch.add(approx)
 		}
 	}
 
-	for _, s := range archive {
+	for _, s := range arch.members {
 		res.Front = append(res.Front, Solution{
 			Genome:     s.genome.Clone(),
 			Objectives: append([]float64(nil), s.eval.Objectives...),
@@ -516,44 +590,6 @@ func evaluate(p Problem, sols []*solution, workers int, useDelta bool) {
 	wg.Wait()
 }
 
-// updateArchive merges the feasible members of batch into the external
-// non-dominated archive, Pareto-filters, and truncates to cap by crowding
-// distance if needed. Solutions carrying surrogate proxy scores are never
-// admitted — the archive holds exact evaluations only.
-func updateArchive(archive, batch []*solution, limit int) []*solution {
-	for _, s := range batch {
-		if s.eval.Violation == 0 && !s.approx {
-			archive = append(archive, s)
-		}
-	}
-	if len(archive) == 0 {
-		return archive
-	}
-	objs := make([][]float64, len(archive))
-	for i, s := range archive {
-		objs[i] = s.eval.Objectives
-	}
-	keep := pareto.Filter(objs)
-	filtered := make([]*solution, 0, len(keep))
-	for _, i := range keep {
-		filtered = append(filtered, archive[i])
-	}
-	if len(filtered) > limit {
-		assignCrowding(filtered)
-		sort.Slice(filtered, func(i, j int) bool { return filtered[i].crowd > filtered[j].crowd })
-		filtered = filtered[:limit]
-	}
-	return filtered
-}
-
-// rankAndCrowd refreshes ranks and crowding distances of the population so
-// the next generation's tournaments compare on current information.
-func rankAndCrowd(pop []*solution) {
-	for _, f := range nonDominatedSort(pop) {
-		assignCrowding(f)
-	}
-}
-
 // RandomSearch evaluates the given number of uniformly random genomes and
 // returns the feasible non-dominated front — the problem-agnostic sanity
 // baseline used by the ablation studies.
@@ -563,7 +599,7 @@ func RandomSearch(p Problem, evals int, seed int64) (*Result, error) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	ev := newEvaluator(p)
-	var archive []*solution
+	arch := newArchiveState(256, new(selScratch))
 	batch := make([]*solution, 0, 256)
 	res := &Result{}
 	for i := 0; i < evals; i++ {
@@ -571,12 +607,12 @@ func RandomSearch(p Problem, evals int, seed int64) (*Result, error) {
 		s.eval = ev.Evaluate(s.genome)
 		batch = append(batch, s)
 		if len(batch) == cap(batch) || i == evals-1 {
-			archive = updateArchive(archive, batch, 256)
+			arch.add(batch)
 			batch = batch[:0]
 		}
 	}
 	res.Evaluations = evals
-	for _, s := range archive {
+	for _, s := range arch.members {
 		res.Front = append(res.Front, Solution{
 			Genome:     s.genome.Clone(),
 			Objectives: append([]float64(nil), s.eval.Objectives...),

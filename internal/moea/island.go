@@ -332,7 +332,7 @@ func cloneMigrantLog(log []EpochMigrants) []EpochMigrants {
 // immigrants in, and refresh archive/ranks. Selection uses the epoch RNG
 // and insertion is draw-free, so the island's main stream is untouched.
 func runMigration(ctx context.Context, p Problem, params *Params, gen int,
-	pop []*solution, archive []*solution, archiveCap int, log *[]EpochMigrants) ([]*solution, error) {
+	pop []*solution, arch *archiveState, log *[]EpochMigrants) error {
 	mig := params.Migration
 	epoch := gen / mig.Every
 	out := selectMigrants(pop, mig, epoch)
@@ -345,17 +345,17 @@ func runMigration(ctx context.Context, p Problem, params *Params, gen int,
 	}
 	in, err := mig.Exchange(ctx, epoch, out)
 	if err != nil {
-		return archive, fmt.Errorf("moea: island %d epoch %d exchange: %w", mig.Island, epoch, err)
+		return fmt.Errorf("moea: island %d epoch %d exchange: %w", mig.Island, epoch, err)
 	}
 	added, err := insertMigrants(p, pop, in)
 	if err != nil {
-		return archive, err
+		return err
 	}
 	if len(added) > 0 {
-		archive = updateArchive(archive, added, archiveCap)
-		rankAndCrowd(pop)
+		arch.add(added)
+		arch.sc.rankAndCrowd(pop)
 	}
-	return archive, nil
+	return nil
 }
 
 // IslandSeedStride separates per-island GA seeds: island i of an N-island
@@ -570,6 +570,11 @@ func RunIslands(p Problem, params Params, seeds []*Genome, cfg IslandConfig) (*R
 	}
 	if cfg.Every < 1 {
 		return nil, fmt.Errorf("moea: migration period %d must be ≥ 1", cfg.Every)
+	}
+	if params.TerminateOnPlateau {
+		// An early-stopping island would strand its peers at the epoch
+		// barrier, so plateau termination and islands are mutually exclusive.
+		return nil, fmt.Errorf("moea: plateau termination is incompatible with island runs")
 	}
 	count := cfg.Count
 	if count <= 0 {

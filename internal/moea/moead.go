@@ -57,9 +57,20 @@ func RunMOEAD(p Problem, params Params, seeds []*Genome) (*Result, error) {
 	if archiveCap <= 0 {
 		archiveCap = 256
 	}
+	// Selection machinery shared with the NSGA-II engine: the incremental
+	// archive (the scratch backs its truncation crowding) and the plateau
+	// tracker, inert unless TerminateOnPlateau.
+	sc := new(selScratch)
+	arch := newArchiveState(archiveCap, sc)
+	plateau := newPlateauState(params, m)
+	arch.plateau = plateau
 	res := &Result{}
-	var pop, archive []*solution
+	var pop []*solution
 	startGen := 0
+	doneGen := 0
+	defer func() {
+		flushSelectionTotals(sc, arch, plateau, startGen, doneGen, params.Generations, res.PlateauStopped)
+	}()
 	if params.Resume != nil {
 		cp := params.Resume
 		if err := validateResume(cp, params); err != nil {
@@ -73,7 +84,12 @@ func RunMOEAD(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		if pop, err = restoreSolutions(cp.Population, n, m); err != nil {
 			return nil, err
 		}
+		var archive []*solution
 		if archive, err = restoreSolutions(cp.Archive, n, m); err != nil {
+			return nil, err
+		}
+		arch.restore(archive)
+		if err := plateau.restore(cp.Plateau, arch.members); err != nil {
 			return nil, err
 		}
 		for j, b := range cp.Ideal {
@@ -82,7 +98,8 @@ func RunMOEAD(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		src.FastForward(cp.Draws)
 		res.Evaluations = cp.Evaluations
 		startGen = cp.Generation
-		params.emit(startGen, res.Evaluations, len(archive))
+		doneGen = startGen
+		params.emit(startGen, res.Evaluations, len(arch.members))
 	} else {
 		pop = make([]*solution, len(weights))
 		for i := range pop {
@@ -114,14 +131,15 @@ func RunMOEAD(p Problem, params Params, seeds []*Genome) (*Result, error) {
 		for _, s := range pop {
 			updateIdeal(s.eval)
 		}
-		archive = updateArchive(nil, pop, archiveCap)
-		params.emit(0, res.Evaluations, len(archive))
+		arch.add(pop)
+		plateau.observe(arch)
+		params.emit(0, res.Evaluations, len(arch.members))
 	}
 
 	ev := newEvaluator(p)
 	neighbors := neighborhoods(weights, defaultNeighbors(params))
 	snapshotMOEAD := func(gen int) *Checkpoint {
-		cp := snapshotRun(gen, res.Evaluations, src.Draws(), pop, archive)
+		cp := snapshotRun(gen, res.Evaluations, src.Draws(), pop, arch.members).withPlateau(plateau)
 		cp.Ideal = make([]uint64, m)
 		for j, v := range ideal {
 			cp.Ideal[j] = math.Float64bits(v)
@@ -164,7 +182,7 @@ func RunMOEAD(p Problem, params Params, seeds []*Genome) (*Result, error) {
 			}
 			res.Evaluations++
 			updateIdeal(cs.eval)
-			archive = updateArchive(archive, []*solution{cs}, archiveCap)
+			arch.addOne(cs)
 
 			// Update neighbors whose subproblem the child improves.
 			for _, j := range nb {
@@ -173,13 +191,20 @@ func RunMOEAD(p Problem, params Params, seeds []*Genome) (*Result, error) {
 				}
 			}
 		}
-		params.emit(gen+1, res.Evaluations, len(archive))
+		doneGen = gen + 1
+		stop := plateau.observe(arch)
+		params.emit(gen+1, res.Evaluations, len(arch.members))
 		if params.checkpointDue(gen + 1) {
 			params.OnCheckpoint(snapshotMOEAD(gen + 1))
 		}
+		if stop {
+			res.PlateauStopped = true
+			break
+		}
 	}
+	res.GenerationsRun = doneGen
 
-	for _, s := range archive {
+	for _, s := range arch.members {
 		res.Front = append(res.Front, Solution{
 			Genome:     s.genome.Clone(),
 			Objectives: append([]float64(nil), s.eval.Objectives...),

@@ -1,0 +1,278 @@
+package moea
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/pareto"
+)
+
+// DefaultPlateauWindow is the number of consecutive low-improvement
+// generations that triggers plateau termination when Params leaves the
+// window unset.
+const DefaultPlateauWindow = 8
+
+// DefaultPlateauEps is the relative hypervolume-improvement threshold
+// below which a generation counts toward the plateau window when Params
+// leaves it unset.
+const DefaultPlateauEps = 1e-3
+
+// ReferenceMargin is the margin handed to pareto.ReferencePoint when a
+// plateau-tracked run fixes its hypervolume reference — the same 10%
+// inflation the experiment harness uses for front comparison.
+const ReferenceMargin = 0.1
+
+// plateauState tracks the archive hypervolume across generations and
+// decides when a run has converged: once the relative improvement stays
+// below eps for window consecutive generations, the run stops early.
+//
+// The reference point is fixed at the first generation boundary with a
+// non-empty archive (per-objective max over the archive, inflated by
+// ReferenceMargin) and never moves, so per-generation hypervolumes are
+// comparable across the whole run. For two objectives the hypervolume is
+// maintained incrementally through a staircase tracker updated on every
+// archive insertion and removal (O(log n) search per update); for three or
+// more it is recomputed from the archive once per generation via
+// pareto.Hypervolume.
+type plateauState struct {
+	enabled bool
+	window  int
+	eps     float64
+	m       int // objective count
+
+	ref    []float64
+	prevHV float64
+	streak int
+	track  *hvTracker // non-nil iff enabled, ref fixed and m == 2
+}
+
+// newPlateauState builds the tracker for one run; disabled state is inert
+// (every method is a cheap no-op).
+func newPlateauState(params Params, m int) *plateauState {
+	ps := &plateauState{enabled: params.TerminateOnPlateau, m: m}
+	if !ps.enabled {
+		return ps
+	}
+	ps.window = params.PlateauWindow
+	if ps.window == 0 {
+		ps.window = DefaultPlateauWindow
+	}
+	ps.eps = params.PlateauEps
+	if ps.eps == 0 {
+		ps.eps = DefaultPlateauEps
+	}
+	return ps
+}
+
+// onInsert / onRemove keep the 2-D staircase in sync with archive
+// membership. Inert until the reference point is fixed.
+func (ps *plateauState) onInsert(s *solution) {
+	if ps.track != nil {
+		ps.track.insert(s.eval.Objectives)
+	}
+}
+
+func (ps *plateauState) onRemove(s *solution) {
+	if ps.track != nil {
+		ps.track.remove(s.eval.Objectives)
+	}
+}
+
+// rebuild resets the staircase from the full archive (after truncation or
+// checkpoint restore). The members' archive order fixes the accumulation
+// order, so the rebuilt value is deterministic for a given archive.
+func (ps *plateauState) rebuild(members []*solution) {
+	if ps.track == nil {
+		return
+	}
+	ps.track.reset()
+	for _, s := range members {
+		ps.track.insert(s.eval.Objectives)
+	}
+}
+
+// hypervolume returns the archive hypervolume against the fixed reference.
+func (ps *plateauState) hypervolume(members []*solution) float64 {
+	if ps.track != nil {
+		return ps.track.hv
+	}
+	objs := make([][]float64, len(members))
+	for i, s := range members {
+		objs[i] = s.eval.Objectives
+	}
+	return pareto.Hypervolume(objs, ps.ref)
+}
+
+// observe is called once per generation boundary with the current archive
+// and reports whether the plateau window is full — the stop signal. The
+// first non-empty observation fixes the reference point and arms the
+// tracker; it never counts toward the window.
+func (ps *plateauState) observe(arch *archiveState) (stop bool) {
+	if !ps.enabled {
+		return false
+	}
+	members := arch.members
+	if ps.ref == nil {
+		if len(members) == 0 {
+			return false
+		}
+		objs := make([][]float64, len(members))
+		for i, s := range members {
+			objs[i] = s.eval.Objectives
+		}
+		ps.ref = pareto.ReferencePoint(ReferenceMargin, objs)
+		if ps.m == 2 {
+			ps.track = newHVTracker(ps.ref)
+			ps.rebuild(members)
+		}
+		ps.prevHV = ps.hypervolume(members)
+		return false
+	}
+	hv := ps.hypervolume(members)
+	var rel float64
+	switch {
+	case ps.prevHV > 0:
+		rel = (hv - ps.prevHV) / ps.prevHV
+	case hv > 0:
+		rel = math.Inf(1)
+	}
+	if rel < ps.eps {
+		ps.streak++
+	} else {
+		ps.streak = 0
+	}
+	ps.prevHV = hv
+	return ps.streak >= ps.window
+}
+
+// PlateauCheckpoint is the durable form of a run's plateau-termination
+// state. Hypervolumes travel as float64 bit patterns: a resumed run seeds
+// its incremental accumulation from the exact checkpointed value, so the
+// remaining generations' plateau decisions are byte-identical to the
+// uninterrupted run's.
+type PlateauCheckpoint struct {
+	// RefBits is the fixed reference point (empty = not yet fixed).
+	RefBits []uint64 `json:"ref_bits,omitempty"`
+	// PrevHVBits is the archive hypervolume at the snapshot boundary —
+	// also the tracker's accumulated value, since snapshots happen at
+	// generation boundaries right after the plateau observation.
+	PrevHVBits uint64 `json:"prev_hv_bits"`
+	// Streak counts consecutive below-eps generations so far.
+	Streak int `json:"streak"`
+}
+
+// snapshot captures the plateau state for a checkpoint (nil when the run
+// does not track plateaus, keeping pre-existing checkpoint bytes stable).
+func (ps *plateauState) snapshot() *PlateauCheckpoint {
+	if !ps.enabled || ps.ref == nil {
+		return nil
+	}
+	cp := &PlateauCheckpoint{
+		RefBits:    make([]uint64, len(ps.ref)),
+		PrevHVBits: math.Float64bits(ps.prevHV),
+		Streak:     ps.streak,
+	}
+	for i, v := range ps.ref {
+		cp.RefBits[i] = math.Float64bits(v)
+	}
+	return cp
+}
+
+// restore rebuilds the plateau state from a checkpoint: the reference
+// point and streak are adopted, the staircase is rebuilt from the restored
+// archive, and the accumulated hypervolume is overwritten with the
+// checkpointed bits so future incremental updates continue the exact
+// floating-point history of the interrupted run. A nil checkpoint (runs
+// checkpointed before plateau tracking existed, or before the reference
+// was fixed) leaves the state fresh.
+func (ps *plateauState) restore(cp *PlateauCheckpoint, members []*solution) error {
+	if !ps.enabled || cp == nil || len(cp.RefBits) == 0 {
+		return nil
+	}
+	if len(cp.RefBits) != ps.m {
+		return fmt.Errorf("moea: checkpoint plateau reference has %d components, problem has %d",
+			len(cp.RefBits), ps.m)
+	}
+	ps.ref = make([]float64, len(cp.RefBits))
+	for i, b := range cp.RefBits {
+		ps.ref[i] = math.Float64frombits(b)
+	}
+	ps.streak = cp.Streak
+	ps.prevHV = math.Float64frombits(cp.PrevHVBits)
+	if ps.m == 2 {
+		ps.track = newHVTracker(ps.ref)
+		ps.rebuild(members)
+		ps.track.hv = ps.prevHV
+	}
+	return nil
+}
+
+// hvTracker maintains the 2-D hypervolume of an antichain incrementally.
+// Points strictly inside the reference box are kept sorted by the first
+// objective; the antichain property makes both coordinates pairwise
+// distinct, so the staircase geometry gives every point the exclusive
+// rectangle between itself and its neighbors:
+//
+//	insert p:  hv += (xSucc − p.x) · (yPred − p.y)
+//	remove p:  hv −= (xSucc − p.x) · (yPred − p.y)
+//
+// with the reference point supplying the virtual boundary neighbors.
+// Each update is one binary search plus a slice shift.
+type hvTracker struct {
+	ref [2]float64
+	xs  []float64
+	ys  []float64
+	hv  float64
+}
+
+func newHVTracker(ref []float64) *hvTracker {
+	return &hvTracker{ref: [2]float64{ref[0], ref[1]}}
+}
+
+func (t *hvTracker) reset() {
+	t.xs = t.xs[:0]
+	t.ys = t.ys[:0]
+	t.hv = 0
+}
+
+func (t *hvTracker) insert(p []float64) {
+	if p[0] >= t.ref[0] || p[1] >= t.ref[1] {
+		return // outside the reference box: zero contribution
+	}
+	i := sort.SearchFloat64s(t.xs, p[0])
+	xSucc, yPred := t.ref[0], t.ref[1]
+	if i < len(t.xs) {
+		xSucc = t.xs[i]
+	}
+	if i > 0 {
+		yPred = t.ys[i-1]
+	}
+	t.hv += (xSucc - p[0]) * (yPred - p[1])
+	t.xs = append(t.xs, 0)
+	copy(t.xs[i+1:], t.xs[i:])
+	t.xs[i] = p[0]
+	t.ys = append(t.ys, 0)
+	copy(t.ys[i+1:], t.ys[i:])
+	t.ys[i] = p[1]
+}
+
+func (t *hvTracker) remove(p []float64) {
+	if p[0] >= t.ref[0] || p[1] >= t.ref[1] {
+		return
+	}
+	i := sort.SearchFloat64s(t.xs, p[0])
+	if i >= len(t.xs) || t.xs[i] != p[0] {
+		return // was never tracked
+	}
+	xSucc, yPred := t.ref[0], t.ref[1]
+	if i+1 < len(t.xs) {
+		xSucc = t.xs[i+1]
+	}
+	if i > 0 {
+		yPred = t.ys[i-1]
+	}
+	t.hv -= (xSucc - p[0]) * (yPred - p[1])
+	t.xs = append(t.xs[:i], t.xs[i+1:]...)
+	t.ys = append(t.ys[:i], t.ys[i+1:]...)
+}

@@ -72,31 +72,43 @@ func SurrogateTotals() SurrogateStats {
 // screenTop ranks offspring by their (proxy) evaluations with the same
 // machinery selection uses — constraint-dominated non-dominated sorting
 // plus crowding — and returns the quota most promising ones. Ties beyond
-// rank and crowding break by offspring index, so screening is fully
-// deterministic.
-func screenTop(offspring []*solution, quota int) []*solution {
+// rank and crowding break by offspring index (the stable sort preserves
+// the ascending initial order), so screening is fully deterministic.
+func screenTop(sc *selScratch, offspring []*solution, quota int) []*solution {
 	if quota >= len(offspring) {
 		return offspring
 	}
-	for _, f := range nonDominatedSort(offspring) {
-		assignCrowding(f)
-	}
-	idx := make([]int, len(offspring))
+	sc.rankAndCrowd(offspring)
+	sc.idx = grow(sc.idx, len(offspring))
+	idx := sc.idx
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		sa, sb := offspring[idx[a]], offspring[idx[b]]
-		if sa.rank != sb.rank {
-			return sa.rank < sb.rank
-		}
-		return sa.crowd > sb.crowd
-	})
+	sort.Stable(&rankCrowdSorter{offspring: offspring, idx: idx})
 	kept := make([]*solution, 0, quota)
 	for _, i := range idx[:quota] {
 		kept = append(kept, offspring[i])
 	}
 	return kept
+}
+
+// rankCrowdSorter orders offspring indices by (rank ascending, crowding
+// descending); used under sort.Stable, which runs the same stable-sort
+// template as the sort.SliceStable closure it replaced, so the permutation
+// is unchanged.
+type rankCrowdSorter struct {
+	offspring []*solution
+	idx       []int
+}
+
+func (s *rankCrowdSorter) Len() int      { return len(s.idx) }
+func (s *rankCrowdSorter) Swap(i, j int) { s.idx[i], s.idx[j] = s.idx[j], s.idx[i] }
+func (s *rankCrowdSorter) Less(i, j int) bool {
+	a, b := s.offspring[s.idx[i]], s.offspring[s.idx[j]]
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	return a.crowd > b.crowd
 }
 
 // surrogateQuota is the per-generation full-evaluation budget.

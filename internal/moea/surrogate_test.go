@@ -61,7 +61,7 @@ func TestScreenTopKeepsBestRanked(t *testing.T) {
 	}
 	a, b := mk(0, 1), mk(1, 0)
 	c, d := mk(2, 2), mk(3, 3)
-	kept := screenTop([]*solution{c, a, d, b}, 2)
+	kept := screenTop(new(selScratch), []*solution{c, a, d, b}, 2)
 	if len(kept) != 2 {
 		t.Fatalf("kept %d, want 2", len(kept))
 	}

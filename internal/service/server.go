@@ -658,6 +658,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		PairedSolves:     at.PairedSolves,
 		SoloSolves:       at.SoloSolves,
 	}
+	st := core.SelectionTotals()
+	m.Selection = SelectionWire{SortNanos: st.SortNanos, ArchiveNanos: st.ArchiveNanos}
+	m.Convergence = ConvergenceWire{
+		GenerationsRun:    st.GenerationsRun,
+		GenerationsBudget: st.GenerationsBudget,
+		GenerationsSaved:  st.GenerationsSaved,
+		PlateauStops:      st.PlateauStops,
+		LastHypervolume:   st.LastHypervolume,
+	}
 	if st := s.cfg.Store; st != nil {
 		sw := StoreWire(st.Stats())
 		m.Store = &sw

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/characterize"
 	"repro/internal/core"
+	"repro/internal/moea"
 	"repro/internal/platform"
 	"repro/internal/relmodel"
 	"repro/internal/schedule"
@@ -97,6 +98,15 @@ type JobSpec struct {
 	Islands        int `json:"islands,omitempty"`
 	MigrationEvery int `json:"migration_every,omitempty"`
 	Migrants       int `json:"migrants,omitempty"`
+	// Converge enables hypervolume-plateau termination: each GA stage stops
+	// early once ConvergeWindow consecutive generations improved the archive
+	// hypervolume by less than ConvergeEps (relative). Off by default —
+	// results are then byte-identical to specs without the knobs.
+	// Incompatible with island mode. ConvergeWindow defaults to
+	// moea.DefaultPlateauWindow, ConvergeEps to moea.DefaultPlateauEps.
+	Converge       bool    `json:"converge,omitempty"`
+	ConvergeWindow int     `json:"converge_window,omitempty"`
+	ConvergeEps    float64 `json:"converge_eps,omitempty"`
 }
 
 var systemObjectiveNames = map[string]core.SystemObjective{
@@ -288,6 +298,25 @@ func (s *JobSpec) Normalize() error {
 				s.Migrants, s.Pop/s.Islands, s.Pop, s.Islands)
 		}
 	}
+	if s.Converge {
+		if s.Islands >= 2 {
+			return fmt.Errorf("service: converge is incompatible with island mode")
+		}
+		if s.ConvergeWindow < 0 {
+			return fmt.Errorf("service: converge_window = %d must be non-negative", s.ConvergeWindow)
+		}
+		if math.IsNaN(s.ConvergeEps) || math.IsInf(s.ConvergeEps, 0) || s.ConvergeEps < 0 {
+			return fmt.Errorf("service: converge_eps = %v must be finite and non-negative", s.ConvergeEps)
+		}
+		if s.ConvergeWindow == 0 {
+			s.ConvergeWindow = moea.DefaultPlateauWindow
+		}
+		if s.ConvergeEps == 0 {
+			s.ConvergeEps = moea.DefaultPlateauEps
+		}
+	} else if s.ConvergeWindow != 0 || s.ConvergeEps != 0 {
+		return fmt.Errorf("service: converge_window/converge_eps require converge")
+	}
 	return nil
 }
 
@@ -426,6 +455,11 @@ func ExecuteOnHooks(ctx context.Context, inst *core.Instance, flib *tdse.Library
 	}
 	if s.Surrogate {
 		cfg.SurrogateFraction = s.SurrogateFraction
+	}
+	if s.Converge {
+		cfg.TerminateOnPlateau = true
+		cfg.PlateauWindow = s.ConvergeWindow
+		cfg.PlateauEps = s.ConvergeEps
 	}
 	if s.Engine == "moead" {
 		cfg.Engine = core.MOEAD
