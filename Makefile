@@ -1,7 +1,7 @@
 GO ?= go
 PORT ?= 8080
 
-.PHONY: build test vet race fuzz-smoke loadtest validate-quick bench bench-sweep bench-snapshot bench-compare bench-islands island-smoke quick full serve
+.PHONY: build test vet race fuzz-smoke loadtest validate-quick bench bench-sweep bench-snapshot bench-compare bench-islands island-smoke fpga-smoke suite-corpus quick full serve
 
 build:
 	$(GO) build ./...
@@ -17,20 +17,22 @@ vet:
 # job-queue service, the durable store, the distributed sweep coordinator,
 # the fleet gateway, and the batched chain-solve path
 # (relmodel/markov/matrix) plus the HEFT bound shared by the surrogate
-# proxy.
+# proxy and the fault-model evaluation counters read by /metrics.
 race:
-	$(GO) vet ./... && $(GO) test -race ./internal/sweep ./internal/core ./internal/moea ./internal/service ./internal/store ./internal/dist ./internal/gateway ./internal/heft ./internal/relmodel ./internal/markov ./internal/matrix
+	$(GO) vet ./... && $(GO) test -race ./internal/sweep ./internal/core ./internal/moea ./internal/service ./internal/store ./internal/dist ./internal/gateway ./internal/heft ./internal/relmodel ./internal/markov ./internal/matrix ./internal/faultmodel
 
 # Short continuous-fuzzing pass over the input-parsing surfaces: the TGFF
 # text parser, the JobSpec normalizer, the WAL replayer, the gateway
-# tenant-config parser and the island migrant wire format. Each target gets
-# 10s on top of the checked-in corpus under testdata/fuzz/.
+# tenant-config parser, the island migrant wire format and the fault-model
+# JSON decoder. Each target gets 10s on top of the checked-in corpus under
+# testdata/fuzz/.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzParseText -fuzztime 10s ./internal/tgff
 	$(GO) test -run xxx -fuzz FuzzNormalize -fuzztime 10s ./internal/service
 	$(GO) test -run xxx -fuzz FuzzWALReplay -fuzztime 10s ./internal/store
 	$(GO) test -run xxx -fuzz FuzzParseTenants -fuzztime 10s ./internal/gateway
 	$(GO) test -run xxx -fuzz FuzzMigrationDecode -fuzztime 10s ./internal/moea
+	$(GO) test -run xxx -fuzz FuzzFaultModelDecode -fuzztime 10s ./internal/faultmodel
 
 # SLO load harness: drive an in-process 2-worker fleet through the
 # gateway for 30s of deterministic duplicate-heavy traffic and gate on
@@ -80,7 +82,11 @@ bench-snapshot:
 # best-of-3 — swings with virtualized-CPU phases on shared hosts, so the
 # time bound matches the CI shared-runner setting. Tighten with
 # BENCH_TIME_PCT on quiet bare-metal boxes.
-BENCH_COMPARE_BASE ?= $(lastword $(sort $(wildcard BENCH_PR*.json)))
+# Default to the highest-numbered committed snapshot. Plain $(sort) is
+# lexical — BENCH_PR10 would sort before BENCH_PR9 — so single-digit and
+# multi-digit PR numbers are sorted as separate groups with the longer
+# (numerically larger) group winning.
+BENCH_COMPARE_BASE ?= $(lastword $(sort $(wildcard BENCH_PR?.json)) $(sort $(wildcard BENCH_PR??.json)))
 BENCH_TIME_PCT ?= 35
 BENCH_ALLOC_PCT ?= 10
 bench-compare:
@@ -108,6 +114,21 @@ island-smoke:
 	$(GO) run ./cmd/experiments -quick -run fig7 -islands 2 -migration-every 2 \
 		-timing=false > /tmp/island-smoke.out
 	cmp /tmp/island-smoke.out testdata/island_smoke.golden
+
+# Deterministic fault-model smoke: the ext-fpga extension study (SEU-only
+# vs combined transient+permanent vs checkpoint axis on the FPGA family)
+# byte-compared against the committed golden front, plus the legacy quick
+# suite against the pre-subsystem baseline with every new axis off.
+fpga-smoke:
+	$(GO) run ./cmd/experiments -quick -run ext-fpga -timing=false > /tmp/fpga-smoke.out
+	cmp /tmp/fpga-smoke.out testdata/ext_fpga_quick.golden
+	$(GO) test -run 'TestQuickLegacyGolden' ./cmd/experiments
+
+# Regenerate the committed mixed-criticality scenario corpus (graphs, job
+# specs and manifest under cmd/tgffgen/testdata/suite) after an intended
+# generator or spec-format change.
+suite-corpus:
+	$(GO) test -run TestSuiteGolden -update-suite ./cmd/tgffgen
 
 # Build and launch the DSE job service on $(PORT).
 serve:

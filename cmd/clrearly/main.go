@@ -6,6 +6,8 @@
 //	clrearly [-app sobel|jpeg|synthetic] [-tasks N] [-method proposed|fcclr|pfclr|agnostic]
 //	         [-pop N] [-gens N] [-seed N] [-engine nsga2|moead] [-json]
 //	         [-max-makespan US] [-min-frel F] [-min-mttf H] [-max-energy UJ] [-max-power W]
+//	         [-platform hmpsoc|fpga] [-catalog default|extended|fpga]
+//	         [-faults model.json] [-ckpt-modes] [-ckpt-intervals 1,2]
 //	         [-remote host:port,...]
 //
 // -remote offloads the run to one of the given clrearlyd workers (with
@@ -31,6 +33,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/faultmodel"
 	"repro/internal/gantt"
 	"repro/internal/schedule"
 	"repro/internal/service"
@@ -58,7 +61,11 @@ func run(args []string, w io.Writer) error {
 	minMTTF := fs.Float64("min-mttf", 0, "MTTF constraint in hours (0 = none)")
 	maxEnergy := fs.Float64("max-energy", 0, "energy constraint in µJ (0 = none)")
 	maxPower := fs.Float64("max-power", 0, "peak power constraint in W (0 = none)")
-	catalog := fs.String("catalog", "default", "reliability method catalog: default or extended")
+	catalog := fs.String("catalog", "default", "reliability method catalog: default, extended or fpga")
+	platformName := fs.String("platform", "", "platform family: hmpsoc (default) or fpga")
+	faultsFile := fs.String("faults", "", "JSON fault-model file activating the combined transient+permanent analysis")
+	ckptModes := fs.Bool("ckpt-modes", false, "enumerate local/TMR checkpoint policies during tDSE (proposed/pfclr)")
+	ckptIntervals := fs.String("ckpt-intervals", "", "comma-separated checkpoint counts for -ckpt-modes (default 2)")
 	objectives := fs.String("objectives", "makespan,errprob",
 		"comma-separated system objectives: makespan, errprob, lifetime, energy, power (Eq. 5)")
 	commStartup := fs.Float64("comm-startup", 0, "interconnect transfer startup cost in µs (0 = comm-free model)")
@@ -117,6 +124,28 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		spec.GraphText = string(text)
+	}
+	spec.Platform = *platformName
+	spec.CkptModes = *ckptModes
+	if *ckptIntervals != "" {
+		for _, part := range splitList(*ckptIntervals) {
+			var n int
+			if _, err := fmt.Sscanf(part, "%d", &n); err != nil {
+				return fmt.Errorf("-ckpt-intervals entry %q: %w", part, err)
+			}
+			spec.CkptIntervals = append(spec.CkptIntervals, n)
+		}
+	}
+	if *faultsFile != "" {
+		blob, err := os.ReadFile(*faultsFile)
+		if err != nil {
+			return err
+		}
+		m, err := faultmodel.Decode(blob)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", *faultsFile, err)
+		}
+		spec.Faults = m
 	}
 	if err := spec.Normalize(); err != nil {
 		return err

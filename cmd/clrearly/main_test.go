@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"reflect"
 	"strconv"
 	"strings"
@@ -218,5 +219,44 @@ func TestRunFiveObjectives(t *testing.T) {
 	}
 	if err := run(small("-objectives", "makespan,bogus"), &buf); err == nil {
 		t.Fatal("unknown objective accepted")
+	}
+}
+
+func TestRunFPGAFaultModel(t *testing.T) {
+	faults := filepath.Join(t.TempDir(), "faults.json")
+	if err := os.WriteFile(faults, []byte(`{
+  "default": {"permanent_per_hour": 200, "repair_prob": 0.6, "repair_time_us": 80},
+  "per_type": {"fpga-fabric": {"transient_scale": 3, "permanent_per_hour": 400, "repair_prob": 0.8}}
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run(small("-method", "pfclr", "-platform", "fpga", "-catalog", "fpga",
+		"-faults", faults, "-ckpt-modes", "-ckpt-intervals", "1,2"), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Pareto points") {
+		t.Fatalf("missing front summary:\n%s", buf.String())
+	}
+}
+
+func TestRunFaultFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(small("-platform", "asic"), &buf); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if err := run(small("-faults", "/nonexistent/faults.json"), &buf); err == nil {
+		t.Error("missing faults file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"default":{"transient_scale":-2}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(small("-faults", bad), &buf); err == nil {
+		t.Error("invalid fault model accepted")
+	}
+	if err := run(small("-method", "pfclr", "-ckpt-modes", "-ckpt-intervals", "x"), &buf); err == nil {
+		t.Error("malformed -ckpt-intervals accepted")
 	}
 }

@@ -6,7 +6,7 @@
 //
 //	experiments [-run all|fig6a,fig6b,table4,fig7,table5,fig8,table6,fig9,fig10,table7,
 //	             ablation-seeding,ablation-operators,ablation-comm,ablation-engine,
-//	             ablation-heft,ext-scenario,ext-memory]
+//	             ablation-heft,ext-scenario,ext-memory,ext-fpga]
 //	            [-pop N] [-gens N] [-seed N] [-sizes 10,20,...] [-quick] [-jobs N]
 //	            [-cpuprofile file] [-memprofile file]
 //
@@ -190,6 +190,7 @@ func run(args []string, w io.Writer) error {
 		{"ablation-heft", func() (printable, error) { return cfg.AblationHEFT() }},
 		{"ext-scenario", func() (printable, error) { return cfg.Scenario() }},
 		{"ext-memory", func() (printable, error) { return cfg.Memory() }},
+		{"ext-fpga", func() (printable, error) { return cfg.FPGA() }},
 	}
 
 	want := map[string]bool{}

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	tgffgen [-tasks N] [-types N] [-width N] [-indeg N] [-seed N] [-format text|dot]
+//	tgffgen -suite -out DIR [-apps N] [-seed N]
+//
+// -suite emits a deterministic multi-app mixed-criticality scenario corpus:
+// per application a TGFF graph file and a ready-to-submit clrearlyd job spec
+// (cycling safety-critical FPGA / mission / best-effort classes), plus a
+// manifest.json with structural metrics and the specs' result-cache hashes.
 package main
 
 import (
@@ -33,8 +39,27 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	format := fs.String("format", "text", "output format: text or dot")
 	stats := fs.Bool("stats", false, "print structural statistics instead of the graph")
+	suite := fs.Bool("suite", false, "generate a multi-app mixed-criticality scenario corpus instead of one graph")
+	apps := fs.Int("apps", 6, "number of applications in the -suite corpus")
+	out := fs.String("out", "", "output directory for -suite (required)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *suite {
+		if *out == "" {
+			return fmt.Errorf("-suite requires -out DIR")
+		}
+		man, err := generateSuite(*out, *apps, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "suite: %d apps under %s (seed %d)\n", len(man.Apps), *out, man.Seed)
+		for _, a := range man.Apps {
+			fmt.Fprintf(w, "  %-28s %-15s %3d tasks %3d edges  depth %2d  spec %s\n",
+				a.File, a.Class, a.Tasks, a.Edges, a.Depth, a.SpecHash)
+		}
+		return nil
 	}
 
 	cfg := tgff.DefaultConfig(*tasks)

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/faultmodel"
+	"repro/internal/service"
+	"repro/internal/tgff"
+)
+
+// suiteClasses are the mixed-criticality classes a suite cycles through.
+// Each class binds a scenario: the platform family, the fault environment
+// and the DSE method a deployment of that criticality would use.
+var suiteClasses = []string{"safety-critical", "mission", "best-effort"}
+
+// suiteApp is one generated application in the manifest, with its
+// structural golden metrics and the result-cache key of its job spec.
+type suiteApp struct {
+	Name  string `json:"name"`
+	File  string `json:"file"`
+	Job   string `json:"job"`
+	Class string `json:"class"`
+
+	Tasks       int     `json:"tasks"`
+	Edges       int     `json:"edges"`
+	Types       int     `json:"types"`
+	Depth       int     `json:"depth"`
+	MaxWidth    int     `json:"max_width"`
+	TotalEdgeKB float64 `json:"total_edge_kb"`
+
+	// SpecHash is sha256(normalized JobSpec) — the key under which every
+	// daemon/gateway tier caches this app's result.
+	SpecHash string `json:"spec_hash"`
+}
+
+// suiteManifest is the committed index of one generated corpus.
+type suiteManifest struct {
+	Seed int64      `json:"seed"`
+	Apps []suiteApp `json:"apps"`
+}
+
+// classSpec builds the ready-to-submit job spec of one criticality class.
+// Safety-critical apps target the FPGA family under a combined
+// transient+permanent model with the checkpoint axis on; mission apps keep
+// the HMPSoC but fly a harsher transient environment; best-effort apps are
+// plain legacy SEU-only runs.
+func classSpec(class, graphText string, seed int64) service.JobSpec {
+	spec := service.JobSpec{
+		GraphText: graphText,
+		Seed:      seed,
+		Pop:       32,
+		Gens:      20,
+	}
+	switch class {
+	case "safety-critical":
+		spec.Method = "pfclr"
+		spec.Platform = "fpga"
+		spec.Catalog = "fpga"
+		spec.Faults = &faultmodel.Model{
+			Default: faultmodel.FaultModel{PermanentPerHour: 100, RepairProb: 0.7, RepairTimeUS: 100},
+		}
+		spec.CkptModes = true
+		spec.CkptIntervals = []int{1, 2}
+		spec.Constraints.MinFunctionalRel = 0.95
+	case "mission":
+		spec.Method = "proposed"
+		spec.Faults = &faultmodel.Model{
+			Default: faultmodel.FaultModel{TransientScale: 10, IntermittentPerSec: 1, IntermittentBurst: 2},
+		}
+	default: // best-effort: the pre-subsystem engine, untouched knobs
+		spec.Method = "fcclr"
+	}
+	return spec
+}
+
+// generateSuite emits a deterministic multi-app mixed-criticality corpus
+// into dir: per app a TGFF graph file, a normalized job-spec JSON, and one
+// manifest.json with the structural golden metrics and spec hashes.
+func generateSuite(dir string, apps int, seed int64) (*suiteManifest, error) {
+	if apps <= 0 {
+		return nil, fmt.Errorf("suite needs a positive app count, got %d", apps)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	man := &suiteManifest{Seed: seed}
+	for i := 0; i < apps; i++ {
+		appSeed := seed + int64(i)*1000
+		// Sizes climb through the suite so one corpus spans paper-scale
+		// (tens of tasks) to stress-scale applications deterministically.
+		tasks := 10 + 7*i
+		cfg := tgff.DefaultConfig(tasks)
+		g, err := tgff.Generate(cfg, appSeed)
+		if err != nil {
+			return nil, fmt.Errorf("app %d: %w", i, err)
+		}
+		var text strings.Builder
+		if err := tgff.WriteText(&text, g); err != nil {
+			return nil, fmt.Errorf("app %d: %w", i, err)
+		}
+		class := suiteClasses[i%len(suiteClasses)]
+		spec := classSpec(class, text.String(), appSeed)
+		if err := spec.Normalize(); err != nil {
+			return nil, fmt.Errorf("app %d spec: %w", i, err)
+		}
+		specBlob, err := json.MarshalIndent(&spec, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+
+		base := fmt.Sprintf("app_%02d_%s", i, class)
+		graphFile := base + ".tgff"
+		jobFile := base + ".job.json"
+		if err := os.WriteFile(filepath.Join(dir, graphFile), []byte(text.String()), 0o644); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(filepath.Join(dir, jobFile), append(specBlob, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+
+		totalKB := 0.0
+		for _, e := range g.Edges() {
+			totalKB += e.DataKB
+		}
+		man.Apps = append(man.Apps, suiteApp{
+			Name:        g.Name,
+			File:        graphFile,
+			Job:         jobFile,
+			Class:       class,
+			Tasks:       g.NumTasks(),
+			Edges:       len(g.Edges()),
+			Types:       g.NumTypes(),
+			Depth:       g.Depth(),
+			MaxWidth:    g.MaxWidth(),
+			TotalEdgeKB: totalKB,
+			SpecHash:    spec.Hash(),
+		})
+	}
+	blob, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), append(blob, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return man, nil
+}

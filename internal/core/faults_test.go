@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/faultmodel"
+	"repro/internal/tdse"
+)
+
+// TestFaultsZeroModelByteIdentical checks that attaching an empty fault
+// model routes evaluation through EvaluateFM without changing a single bit
+// of the front: the gate is the model's content, not the pointer.
+func TestFaultsZeroModelByteIdentical(t *testing.T) {
+	base := sobelInstance()
+	legacy, err := FcCLR(base, smallCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withZero := sobelInstance()
+	withZero.Faults = &faultmodel.Model{}
+	got, err := FcCLR(withZero, smallCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != len(legacy.Points) {
+		t.Fatalf("front sizes differ: %d vs %d", len(got.Points), len(legacy.Points))
+	}
+	for i := range legacy.Points {
+		for j := range legacy.Points[i].Objectives {
+			if got.Points[i].Objectives[j] != legacy.Points[i].Objectives[j] {
+				t.Fatalf("point %d objective %d diverged: %v vs %v",
+					i, j, got.Points[i].Objectives[j], legacy.Points[i].Objectives[j])
+			}
+		}
+	}
+}
+
+// TestFaultsActiveModelShiftsFront checks that an active permanent process
+// reaches the system-level objectives through the instance wiring.
+func TestFaultsActiveModelShiftsFront(t *testing.T) {
+	inst := sobelInstance()
+	inst.Faults = &faultmodel.Model{
+		Default: faultmodel.FaultModel{PermanentPerHour: 500, RepairProb: 0.3, RepairTimeUS: 50},
+	}
+	front, err := FcCLR(inst, smallCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := FcCLR(sobelInstance(), smallCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The error-probability axis (objective 1) must strictly grow: every
+	// task now also loses results to unrepaired permanent faults.
+	worse := false
+	for i := range front.Points {
+		if i < len(legacy.Points) && front.Points[i].Objectives[1] > legacy.Points[i].Objectives[1] {
+			worse = true
+			break
+		}
+	}
+	if !worse && len(front.Points) == len(legacy.Points) {
+		t.Fatal("active permanent process left the error-probability axis untouched")
+	}
+}
+
+// TestFaultsProposedEndToEnd runs the two-stage strategy with the fault
+// model active in both the tDSE library and the system-level instance.
+func TestFaultsProposedEndToEnd(t *testing.T) {
+	inst := sobelInstance()
+	inst.Faults = &faultmodel.Model{
+		Default: faultmodel.FaultModel{TransientScale: 5, PermanentPerHour: 100, RepairProb: 0.5, RepairTimeUS: 100},
+	}
+	opt := tdse.DefaultOptions()
+	opt.Faults = inst.Faults
+	opt.Checkpoints = tdse.CheckpointAxis([]int{2})
+	flib, err := tdse.Build(inst.Lib, inst.Platform, inst.Catalog, opt,
+		[]tdse.Objective{tdse.AvgExT, tdse.ErrProb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := Proposed(inst, smallCfg(11), flib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front.Points) == 0 {
+		t.Fatal("proposed strategy under the fault model returned an empty front")
+	}
+	for _, pt := range front.Points {
+		if len(pt.Objectives) != 2 {
+			t.Fatalf("point carries %d objectives, want 2", len(pt.Objectives))
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/characterize"
+	"repro/internal/faultmodel"
 	"repro/internal/platform"
 	"repro/internal/relmodel"
 	"repro/internal/schedule"
@@ -109,6 +110,13 @@ type Instance struct {
 	// disables memoization. Cached and uncached evaluations are
 	// byte-identical, so this knob trades memory for speed only.
 	FitnessCacheCap int
+	// Faults, when non-nil, evaluates every task metric under the resolved
+	// per-PE-type combined fault model (relmodel.EvaluateFM); nil keeps the
+	// SEU-only path bit-identical to the base engine. The model is constant
+	// per instance, so the shared metrics cache stays keyed by
+	// (taskType, impl, assignment) alone — derive a fresh instance (as
+	// WithPlatform does) rather than mutating this field on a live one.
+	Faults *faultmodel.Model
 
 	// metrics is the lazily created instance-level Markov-metric cache
 	// (see cache.go), shared by every strategy run on this instance. A

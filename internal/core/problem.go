@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 
+	"repro/internal/faultmodel"
 	"repro/internal/moea"
 	"repro/internal/relmodel"
 	"repro/internal/schedule"
@@ -172,7 +173,17 @@ func (p *fcProblem) taskMetrics(task int, g moea.Gene) (relmodel.Metrics, int) {
 	key := metricsKey{taskType: tt, impl: mod(g.Impl, len(impls)), asg: asg}
 	m := p.cache.lookup(key, func() relmodel.Metrics {
 		pt := p.inst.Platform.Types()[impl.PETypeIndex]
-		m, err := relmodel.Evaluate(impl, asg, pt, p.inst.Catalog)
+		var m relmodel.Metrics
+		var err error
+		if p.inst.Faults != nil {
+			// The checkpoint-policy axis is a tDSE decision carried by
+			// pfCLR candidates, not an fcCLR gene: full-configuration
+			// genomes evaluate at the zero policy.
+			m, err = relmodel.EvaluateFM(impl, asg, pt, p.inst.Catalog,
+				p.inst.Faults.For(pt.Name), faultmodel.CheckpointPolicy{})
+		} else {
+			m, err = relmodel.Evaluate(impl, asg, pt, p.inst.Catalog)
+		}
 		if err != nil {
 			// Decoding guarantees validity; an error here is a programming
 			// error, surfaced loudly.

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/faultmodel"
+	"repro/internal/platform"
+	"repro/internal/relmodel"
+	"repro/internal/sweep"
+	"repro/internal/tdse"
+	"repro/internal/tgff"
+)
+
+// FPGAFaultRow is one analysis regime of the fault-model extension study.
+type FPGAFaultRow struct {
+	Regime      string
+	Points      int
+	Hypervolume float64
+	Evaluations int
+	// MinErrProb is the most reliable point of the regime's front — under
+	// the combined model this folds the permanent-failure probability in,
+	// which is what pushes the regimes apart.
+	MinErrProb float64
+}
+
+// FPGAFaultResult reports the fault-model extension: the proposed DSE on
+// the FPGA platform family under three analysis regimes of increasing
+// fidelity — the legacy SEU-only engine, the combined transient+permanent
+// model (configuration-memory upsets plus a wear-out process with
+// scrub-assisted repair), and the combined model with the checkpoint-policy
+// axis opened to the task-level DSE.
+type FPGAFaultResult struct {
+	Tasks  int
+	Fronts []FrontSeries
+	Rows   []FPGAFaultRow
+}
+
+// fpgaFaultModel is the mission environment of the study: a wear-out
+// permanent process on every fabric PE with imperfect scrub-assisted
+// repair, on top of the platform's configuration-memory SEU rates.
+func fpgaFaultModel() *faultmodel.Model {
+	return &faultmodel.Model{
+		Default: faultmodel.FaultModel{PermanentPerHour: 80, RepairProb: 0.6, RepairTimeUS: 80},
+	}
+}
+
+// fpgaInstance builds a synthetic instance on the FPGA platform family with
+// the FPGA hardware-method catalog (TMR-with-repair and scrubbing entries).
+func (c Config) fpgaInstance(tasks int) *core.Instance {
+	p := platform.FPGA()
+	return &core.Instance{
+		Graph:      tgff.MustGenerate(tgff.DefaultConfig(tasks), c.Seed+int64(tasks)),
+		Platform:   p,
+		Lib:        syntheticLibrary(c, p),
+		Catalog:    relmodel.FPGACatalog(),
+		Objectives: core.DefaultObjectives(),
+	}
+}
+
+// FPGA runs the ext-fpga study on one 15-task application: three complete
+// proposed-DSE runs at the same seed whose only difference is the fault
+// analysis the evaluator applies.
+func (c Config) FPGA() (*FPGAFaultResult, error) {
+	const tasks = 15
+	model := fpgaFaultModel()
+
+	type regime struct {
+		label string
+		inst  *core.Instance
+		opt   tdse.Options
+	}
+	regimes := []regime{
+		{label: "SEU-only (legacy)", inst: c.fpgaInstance(tasks), opt: tdse.DefaultOptions()},
+		{label: "combined faults", inst: c.fpgaInstance(tasks), opt: tdse.DefaultOptions()},
+		{label: "combined + ckpt axis", inst: c.fpgaInstance(tasks), opt: tdse.DefaultOptions()},
+	}
+	regimes[1].inst.Faults = model
+	regimes[1].opt.Faults = model
+	regimes[2].inst.Faults = model
+	regimes[2].opt.Faults = model
+	regimes[2].opt.Checkpoints = tdse.CheckpointAxis([]int{1, 2})
+
+	fronts := make([]*core.Front, len(regimes))
+	cells := make([]func() error, len(regimes))
+	for i, r := range regimes {
+		i, r := i, r
+		cells[i] = func() error {
+			flib, err := tdse.Build(r.inst.Lib, r.inst.Platform, r.inst.Catalog,
+				r.opt, TDSEObjectiveSets()[0])
+			if err != nil {
+				return err
+			}
+			f, err := core.Proposed(r.inst, c.run(c.Seed+107), flib)
+			fronts[i] = f
+			return err
+		}
+	}
+	if err := sweep.Run(c.Jobs, cells); err != nil {
+		return nil, err
+	}
+
+	mats := make([][][]float64, len(fronts))
+	for i, f := range fronts {
+		mats[i] = frontPoints(f)
+	}
+	hv := commonHypervolumes(mats...)
+	out := &FPGAFaultResult{Tasks: tasks}
+	for i, r := range regimes {
+		minErr := 1.0
+		for _, pt := range fronts[i].Points {
+			if pt.QoS.ErrProb < minErr {
+				minErr = pt.QoS.ErrProb
+			}
+		}
+		out.Fronts = append(out.Fronts, FrontSeries{Label: r.label, Points: sortedFront(mats[i])})
+		out.Rows = append(out.Rows, FPGAFaultRow{
+			Regime:      r.label,
+			Points:      len(fronts[i].Points),
+			Hypervolume: hv[i],
+			Evaluations: fronts[i].Evaluations,
+			MinErrProb:  minErr,
+		})
+	}
+	return out, nil
+}
+
+// Print renders the regime comparison.
+func (r *FPGAFaultResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Extension — FPGA platform family under the combined fault model (%d tasks)\n", r.Tasks)
+	header := []string{"analysis regime", "points", "hypervolume", "evaluations", "min err-prob (%)"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Regime,
+			fmt.Sprintf("%d", row.Points),
+			fmt.Sprintf("%.4g", row.Hypervolume),
+			fmt.Sprintf("%d", row.Evaluations),
+			fmt.Sprintf("%.4f", row.MinErrProb*100),
+		})
+	}
+	writeTable(w, header, rows)
+	printFrontSeries(w, r.Fronts, "avg makespan (us)", "app error prob (%)")
+}

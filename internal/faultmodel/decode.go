@@ -1,0 +1,116 @@
+package faultmodel
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// faultModelWire is the JSON form of one FaultModel. All fields are
+// optional; absent means the zero (disabled) value.
+type faultModelWire struct {
+	TransientScale     float64 `json:"transient_scale,omitempty"`
+	IntermittentPerSec float64 `json:"intermittent_per_sec,omitempty"`
+	IntermittentBurst  float64 `json:"intermittent_burst,omitempty"`
+	PermanentPerHour   float64 `json:"permanent_per_hour,omitempty"`
+	RepairProb         float64 `json:"repair_prob,omitempty"`
+	RepairTimeUS       float64 `json:"repair_time_us,omitempty"`
+}
+
+func (w faultModelWire) model() FaultModel {
+	return FaultModel{
+		TransientScale:     w.TransientScale,
+		IntermittentPerSec: w.IntermittentPerSec,
+		IntermittentBurst:  w.IntermittentBurst,
+		PermanentPerHour:   w.PermanentPerHour,
+		RepairProb:         w.RepairProb,
+		RepairTimeUS:       w.RepairTimeUS,
+	}
+}
+
+func wireOf(f FaultModel) faultModelWire {
+	return faultModelWire{
+		TransientScale:     f.TransientScale,
+		IntermittentPerSec: f.IntermittentPerSec,
+		IntermittentBurst:  f.IntermittentBurst,
+		PermanentPerHour:   f.PermanentPerHour,
+		RepairProb:         f.RepairProb,
+		RepairTimeUS:       f.RepairTimeUS,
+	}
+}
+
+// modelWire is the JSON form of a Model.
+type modelWire struct {
+	Default faultModelWire            `json:"default,omitempty"`
+	PerType map[string]faultModelWire `json:"per_type,omitempty"`
+}
+
+// Decode parses and validates the strict JSON wire form of a Model:
+//
+//	{"default": {"transient_scale": 2, "permanent_per_hour": 1e-4,
+//	             "repair_prob": 0.9, "repair_time_us": 500},
+//	 "per_type": {"fpga-region": {"permanent_per_hour": 5e-4}}}
+//
+// Unknown fields are rejected, as are NaN/Inf/negative rates and
+// out-of-range probabilities (the tgff.parseFinite discipline: a malformed
+// model must fail at the boundary, not poison chain construction later).
+func Decode(data []byte) (*Model, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var w modelWire
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("faultmodel: decoding: %w", err)
+	}
+	// A second document after the first is as malformed as a bad field.
+	if dec.More() {
+		return nil, fmt.Errorf("faultmodel: trailing data after model")
+	}
+	m := &Model{Default: w.Default.model()}
+	if len(w.PerType) > 0 {
+		m.PerType = make(map[string]FaultModel, len(w.PerType))
+		for name, fw := range w.PerType {
+			m.PerType[name] = fw.model()
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Encode renders the model in its canonical wire form (the inverse of
+// Decode; map keys are sorted by encoding/json so equal models encode
+// equally).
+func Encode(m *Model) ([]byte, error) {
+	if m == nil {
+		return []byte("{}"), nil
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	w := modelWire{Default: wireOf(m.Default)}
+	if len(m.PerType) > 0 {
+		w.PerType = make(map[string]faultModelWire, len(m.PerType))
+		for name, fm := range m.PerType {
+			w.PerType[name] = wireOf(fm)
+		}
+	}
+	return json.Marshal(w)
+}
+
+// MarshalJSON / UnmarshalJSON give Model a canonical JSON form wherever it
+// is embedded (notably service.JobSpec, whose normalized bytes are the
+// result-cache key).
+func (m Model) MarshalJSON() ([]byte, error) {
+	return Encode(&m)
+}
+
+// UnmarshalJSON decodes with Decode's strictness.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	dm, err := Decode(data)
+	if err != nil {
+		return err
+	}
+	*m = *dm
+	return nil
+}

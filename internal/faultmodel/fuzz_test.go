@@ -1,0 +1,72 @@
+package faultmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFaultModelDecode exercises the strict wire decoder with arbitrary
+// inputs: it must never panic, and any model it accepts must be internally
+// valid (finite non-negative rates, probabilities in range) and round-trip
+// through the canonical encoding.
+func FuzzFaultModelDecode(f *testing.F) {
+	// The checked-in corpus under testdata/fuzz/FuzzFaultModelDecode mirrors
+	// these seeds; both cover the rejection classes of tgff.parseFinite.
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"default":{"transient_scale":2.5}}`))
+	f.Add([]byte(`{"default":{"permanent_per_hour":1e-4,"repair_prob":0.9,"repair_time_us":500},` +
+		`"per_type":{"fpga-region":{"intermittent_per_sec":0.25,"intermittent_burst":4}}}`))
+	f.Add([]byte(`{"default":{"transient_scale":-1}}`))
+	f.Add([]byte(`{"default":{"transient_scale":1e999}}`))
+	f.Add([]byte(`{"default":{"permanent_per_hour":1,"repair_prob":NaN}}`))
+	f.Add([]byte(`{"default":{"unknown_knob":1}}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted models must satisfy their own invariants…
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Decode accepted an invalid model: %v", err)
+		}
+		for name, fm := range m.PerType {
+			resolved := m.For(name)
+			if resolved != fm {
+				t.Fatalf("For(%q) = %+v, want the override %+v", name, resolved, fm)
+			}
+		}
+		// …derive finite chain-level rates…
+		for _, fm := range append([]FaultModel{m.Default}, values(m.PerType)...) {
+			for _, v := range []float64{fm.LambdaScale(), fm.IntermittentPerUS(), fm.PermanentPerUS()} {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Fatalf("accepted model derives non-finite rate %v from %+v", v, fm)
+				}
+			}
+		}
+		// …and round-trip through the canonical encoding.
+		enc, err := Encode(m)
+		if err != nil {
+			t.Fatalf("accepted model fails to encode: %v", err)
+		}
+		m2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding fails to re-decode: %v", err)
+		}
+		enc2, err := Encode(m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(enc) != string(enc2) {
+			t.Fatalf("canonical encoding unstable:\n%s\n%s", enc, enc2)
+		}
+	})
+}
+
+func values(m map[string]FaultModel) []FaultModel {
+	out := make([]FaultModel, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package faultsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relmodel"
+)
+
+// randomCombinedChainParams extends randomChainParams with an active
+// permanent process, exercising the PermHit/PermFail extension of the
+// fault-model subsystem across its knob ranges.
+func randomCombinedChainParams(rng *rand.Rand) relmodel.ChainParams {
+	p := randomChainParams(rng)
+	p.PermPerUS = 1e-5 + rng.Float64()*2e-4
+	p.RepairProb = rng.Float64()
+	p.RepairTimeUS = rng.Float64() * 100
+	return p
+}
+
+// TestPropertyCombinedSimAgreesWithAnalysis is the combined-model version
+// of TestPropertySimAgreesWithAnalysis: with transient and permanent
+// processes active together, the Monte-Carlo estimates of both failure
+// probabilities (surviving error and unrepaired permanent loss) must agree
+// with the fundamental-matrix results within 3 standard errors. Fixed
+// seeds keep the pass reproducible.
+func TestPropertyCombinedSimAgreesWithAnalysis(t *testing.T) {
+	const trials = 25000
+	rng := rand.New(rand.NewSource(1414))
+	sawPerm := false
+	for i := 0; i < 10; i++ {
+		p := randomCombinedChainParams(rng)
+		analytic, err := relmodel.AnalyzeChains(p)
+		if err != nil {
+			t.Fatalf("case %d: analyze: %v", i, err)
+		}
+		if analytic.PermFailProb <= 0 || analytic.PermFailProb >= 1 {
+			t.Fatalf("case %d: analytic PermFailProb %v outside (0,1) under an active permanent process",
+				i, analytic.PermFailProb)
+		}
+		sim, err := SimulateTask(p, trials, int64(4000+i))
+		if err != nil {
+			t.Fatalf("case %d: simulate: %v", i, err)
+		}
+		if sim.PermProb > 0 {
+			sawPerm = true
+		}
+		// Same epsilon rationale as the transient-only property test: the
+		// empirical stderr collapses when a rare costly event never lands
+		// in the sample.
+		timeEps := 1e-6 + 2e-4*analytic.AvgExTimeUS
+		if d := math.Abs(sim.MeanTimeUS - analytic.AvgExTimeUS); d > 3*sim.TimeStdErr+timeEps {
+			t.Errorf("case %d (%+v): time simulated %v vs analytic %v (Δ=%v, 3σ=%v)",
+				i, p, sim.MeanTimeUS, analytic.AvgExTimeUS, d, 3*sim.TimeStdErr)
+		}
+		if d := math.Abs(sim.ErrProb - analytic.ErrProb); d > 3*sim.ErrProbStdErr+1e-3 {
+			t.Errorf("case %d (%+v): errprob simulated %v vs analytic %v (Δ=%v, 3σ=%v)",
+				i, p, sim.ErrProb, analytic.ErrProb, d, 3*sim.ErrProbStdErr)
+		}
+		if d := math.Abs(sim.PermProb - analytic.PermFailProb); d > 3*sim.PermProbStdErr+1e-3 {
+			t.Errorf("case %d (%+v): permfail simulated %v vs analytic %v (Δ=%v, 3σ=%v)",
+				i, p, sim.PermProb, analytic.PermFailProb, d, 3*sim.PermProbStdErr)
+		}
+	}
+	if !sawPerm {
+		t.Fatal("no sampled permanent loss across the whole knob sweep; rates too low to validate anything")
+	}
+}
+
+// TestTaskSimPermZeroStaysZero pins the gate: with the permanent process
+// off, the simulator must never report a permanent loss.
+func TestTaskSimPermZeroStaysZero(t *testing.T) {
+	sim, err := SimulateTask(params(2e-4, 2), 5000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.PermProb != 0 || sim.PermProbStdErr != 0 {
+		t.Fatalf("permanent loss reported with the process off: %v ± %v", sim.PermProb, sim.PermProbStdErr)
+	}
+}
+
+// TestTaskSimRepairAlwaysSucceeds pins the other boundary: with certain
+// repair, permanent hits cost time but never lose the task.
+func TestTaskSimRepairAlwaysSucceeds(t *testing.T) {
+	p := params(1e-4, 1)
+	p.PermPerUS = 2e-4
+	p.RepairProb = 1
+	p.RepairTimeUS = 40
+	sim, err := SimulateTask(p, 20000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.PermProb != 0 {
+		t.Fatalf("permanent loss %v with certain repair", sim.PermProb)
+	}
+	base, err := SimulateTask(params(1e-4, 1), 20000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.MeanTimeUS <= base.MeanTimeUS {
+		t.Fatalf("repair residence left mean time unchanged: %v vs %v", sim.MeanTimeUS, base.MeanTimeUS)
+	}
+}

@@ -26,6 +26,9 @@ type TaskStats struct {
 	// ErrProb estimates the probability of an erroneous result;
 	// ErrProbStdErr is its standard error.
 	ErrProb, ErrProbStdErr float64
+	// PermProb estimates the probability of an unrepaired permanent loss
+	// (absorption in PermFail); zero with the permanent process off.
+	PermProb, PermProbStdErr float64
 }
 
 // SimulateTask runs trials random executions of a task under the given CLR
@@ -46,7 +49,7 @@ func SimulateTask(params relmodel.ChainParams, trials int, seed int64) (TaskStat
 	}
 	rng := rand.New(rand.NewSource(seed))
 	var sumT, sumT2 float64
-	errors := 0
+	errors, permFails := 0, 0
 	for i := 0; i < trials; i++ {
 		tw, err := timing.Sample(rng, 0)
 		if err != nil {
@@ -58,20 +61,26 @@ func SimulateTask(params relmodel.ChainParams, trials int, seed int64) (TaskStat
 		if err != nil {
 			return out, err
 		}
-		if functional.Name(fw.Absorbed) == "Error" {
+		switch functional.Name(fw.Absorbed) {
+		case "Error":
 			errors++
+		case "PermFail":
+			permFails++
 		}
 	}
 	n := float64(trials)
 	mean := sumT / n
 	variance := math.Max(0, sumT2/n-mean*mean)
 	p := float64(errors) / n
+	pp := float64(permFails) / n
 	out = TaskStats{
-		Trials:        trials,
-		MeanTimeUS:    mean,
-		TimeStdErr:    math.Sqrt(variance / n),
-		ErrProb:       p,
-		ErrProbStdErr: math.Sqrt(p * (1 - p) / n),
+		Trials:         trials,
+		MeanTimeUS:     mean,
+		TimeStdErr:     math.Sqrt(variance / n),
+		ErrProb:        p,
+		ErrProbStdErr:  math.Sqrt(p * (1 - p) / n),
+		PermProb:       pp,
+		PermProbStdErr: math.Sqrt(pp * (1 - pp) / n),
 	}
 	return out, nil
 }

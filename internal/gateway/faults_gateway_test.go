@@ -1,0 +1,73 @@
+package gateway
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultmodel"
+	"repro/internal/service"
+)
+
+// TestFaultModelSpecThroughFleet checks the fault-model fields survive the
+// gateway round trip intact: the spec a worker receives on lease carries the
+// model and checkpoint knobs it was submitted with, and the job completes
+// through the real solver.
+func TestFaultModelSpecThroughFleet(t *testing.T) {
+	_, ts := newTestGateway(t, Config{WorkerToken: "wtok", ProbeEvery: -1})
+
+	seen := make(chan *service.JobSpec, 1)
+	startAgent(t, AgentConfig{
+		Gateway: ts.URL, Token: "wtok", Name: "w0",
+		Exec: func(ctx context.Context, s *service.JobSpec, progress func(core.ProgressEvent)) (*core.Front, error) {
+			select {
+			case seen <- s:
+			default:
+			}
+			return service.Execute(ctx, s, progress)
+		},
+	})
+
+	spec := service.JobSpec{
+		App: "sobel", Method: "pfclr", Platform: "fpga", Catalog: "fpga",
+		Pop: 16, Gens: 3, Seed: 21,
+		Faults: &faultmodel.Model{
+			Default: faultmodel.FaultModel{PermanentPerHour: 150, RepairProb: 0.5, RepairTimeUS: 60},
+			PerType: map[string]faultmodel.FaultModel{
+				"fpga-fabric": {TransientScale: 4, PermanentPerHour: 300, RepairProb: 0.7, RepairTimeUS: 90},
+			},
+		},
+		CkptModes:     true,
+		CkptIntervals: []int{1, 2},
+	}
+	jw, resp := submitSpec(t, ts, "key1", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", resp.StatusCode)
+	}
+
+	final := waitDone(t, ts, "key1", jw.ID, 60*time.Second)
+	if final.Front == nil || len(final.Front.Points) == 0 {
+		t.Fatal("fault-model fleet job returned no front")
+	}
+
+	var leased *service.JobSpec
+	select {
+	case leased = <-seen:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never reported the leased spec")
+	}
+	if leased.Platform != "fpga" || leased.Catalog != "fpga" {
+		t.Fatalf("platform/catalog lost in transit: %q/%q", leased.Platform, leased.Catalog)
+	}
+	if leased.Faults == nil || leased.Faults.Default.PermanentPerHour != 150 {
+		t.Fatalf("fault model lost in transit: %+v", leased.Faults)
+	}
+	if got := leased.Faults.For("fpga-fabric"); got.TransientScale != 4 || got.PermanentPerHour != 300 {
+		t.Fatalf("per-type override lost in transit: %+v", got)
+	}
+	if !leased.CkptModes || len(leased.CkptIntervals) != 2 {
+		t.Fatalf("checkpoint knobs lost in transit: %v %v", leased.CkptModes, leased.CkptIntervals)
+	}
+}

@@ -1,0 +1,95 @@
+package platform
+
+import "fmt"
+
+// FPGA returns the FPGA platform family: an SRAM-based FPGA system-on-chip
+// in the style of the space-application dependability studies (Hoque et al.),
+// shipped as a named platform next to the HMPSoC of Default().
+//
+// The family keeps the template of Fig. 2(a) — general-purpose processors
+// plus reconfigurable regions — but every PE lives in configuration memory:
+// two soft-core processor types (different hardening levels) and one
+// accelerator-fabric region type. Each type carries a configuration-memory
+// upset rate and a scrubbing period; the reliability model turns
+// configuration upsets into repairable permanent hits whose repair latency
+// is half the scrub period (see relmodel.EvaluateFM and DESIGN.md §14).
+// The hardened soft core trades frequency for a lower upset cross-section;
+// the accelerator fabric has the largest configuration image — the highest
+// upset rate — and the fastest scrub loop.
+func FPGA() *Platform {
+	softModes := []DVFSMode{
+		{Name: "1.0V,200MHz", VoltageV: 1.00, FreqMHz: 200},
+		{Name: "0.95V,150MHz", VoltageV: 0.95, FreqMHz: 150},
+		{Name: "0.9V,100MHz", VoltageV: 0.90, FreqMHz: 100},
+	}
+	soft := &PEType{
+		Name:                "fpga-softcore",
+		Class:               GeneralPurpose,
+		MaskingFactor:       0.15,
+		WeibullBeta:         1.9,
+		EtaRefHours:         6.5e4,
+		BaseSEURatePerSec:   90.0,
+		Modes:               softModes,
+		ThermalResistance:   16,
+		LocalMemKB:          256,
+		ThermalTimeConstS:   0.04,
+		ConfigSEURatePerSec: 3.0,
+		ScrubPeriodUS:       2.0e4,
+	}
+	hardened := &PEType{
+		Name:              "fpga-softcore-hard",
+		Class:             GeneralPurpose,
+		MaskingFactor:     0.40,
+		WeibullBeta:       2.1,
+		EtaRefHours:       6.0e4,
+		BaseSEURatePerSec: 70.0,
+		Modes: []DVFSMode{
+			{Name: "1.0V,160MHz", VoltageV: 1.00, FreqMHz: 160},
+			{Name: "0.95V,120MHz", VoltageV: 0.95, FreqMHz: 120},
+			{Name: "0.9V,80MHz", VoltageV: 0.90, FreqMHz: 80},
+		},
+		ThermalResistance:   16,
+		LocalMemKB:          256,
+		ThermalTimeConstS:   0.04,
+		ConfigSEURatePerSec: 1.2,
+		ScrubPeriodUS:       2.0e4,
+	}
+	fabric := &PEType{
+		Name:              "fpga-fabric",
+		Class:             Reconfigurable,
+		MaskingFactor:     0.08,
+		WeibullBeta:       1.7,
+		EtaRefHours:       5.5e4,
+		BaseSEURatePerSec: 140.0,
+		Modes: []DVFSMode{
+			{Name: "1.0V,300MHz", VoltageV: 1.00, FreqMHz: 300},
+			{Name: "0.95V,200MHz", VoltageV: 0.95, FreqMHz: 200},
+		},
+		ThermalResistance:   13,
+		LocalMemKB:          128,
+		ThermalTimeConstS:   0.03,
+		ConfigSEURatePerSec: 8.0,
+		ScrubPeriodUS:       1.0e4,
+	}
+	p, err := New(
+		[]*PEType{soft, hardened, fabric},
+		[]int{2, 2, 2},
+	)
+	if err != nil {
+		panic("platform: FPGA platform invalid: " + err.Error())
+	}
+	return p
+}
+
+// Named returns a platform family by its wire name: "" or "hmpsoc" is the
+// HMPSoC of Default(), "fpga" the FPGA family.
+func Named(name string) (*Platform, error) {
+	switch name {
+	case "", "hmpsoc", "default":
+		return Default(), nil
+	case "fpga":
+		return FPGA(), nil
+	default:
+		return nil, fmt.Errorf("platform: unknown platform family %q", name)
+	}
+}

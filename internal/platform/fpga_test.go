@@ -1,0 +1,70 @@
+package platform
+
+import "testing"
+
+func TestFPGAPlatform(t *testing.T) {
+	p := FPGA()
+	if p.NumPEs() != 6 {
+		t.Fatalf("FPGA platform has %d PEs, want 6", p.NumPEs())
+	}
+	gp, cfg := 0, 0
+	for _, pt := range p.Types() {
+		if err := pt.Validate(); err != nil {
+			t.Fatalf("type %q invalid: %v", pt.Name, err)
+		}
+		if pt.Class == GeneralPurpose {
+			gp++
+		}
+		if pt.ConfigSEURatePerSec > 0 {
+			cfg++
+			if pt.ScrubPeriodUS <= 0 {
+				t.Fatalf("type %q has config memory but no scrubber", pt.Name)
+			}
+		}
+	}
+	// The characterization libraries (Sobel/JPEG) require at least two
+	// general-purpose types to spread software implementations over.
+	if gp < 2 {
+		t.Fatalf("FPGA platform has %d general-purpose types, want ≥ 2", gp)
+	}
+	if cfg != len(p.Types()) {
+		t.Fatalf("every FPGA type must live in configuration memory (%d of %d)", cfg, len(p.Types()))
+	}
+}
+
+func TestDefaultPlatformHasNoConfigMemory(t *testing.T) {
+	for _, pt := range Default().Types() {
+		if pt.ConfigSEURatePerSec != 0 || pt.ScrubPeriodUS != 0 {
+			t.Fatalf("legacy type %q carries config-memory knobs; the default path must stay SEU-only", pt.Name)
+		}
+	}
+}
+
+func TestNamed(t *testing.T) {
+	for _, name := range []string{"", "hmpsoc", "default"} {
+		p, err := Named(name)
+		if err != nil || p.NumPEs() != Default().NumPEs() {
+			t.Fatalf("Named(%q) = %v, %v", name, p, err)
+		}
+	}
+	if p, err := Named("fpga"); err != nil || p.Types()[0].ConfigSEURatePerSec == 0 {
+		t.Fatalf("Named(fpga) = %v, %v", p, err)
+	}
+	if _, err := Named("asic"); err == nil {
+		t.Fatal("Named accepted an unknown family")
+	}
+}
+
+func TestConfigMemoryValidation(t *testing.T) {
+	pt := Default().Types()[0]
+	bad := *pt
+	bad.ConfigSEURatePerSec = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted a negative config SEU rate")
+	}
+	bad = *pt
+	bad.ScrubPeriodUS = 100 // scrubber without config memory
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted a scrub period without config memory")
+	}
+}

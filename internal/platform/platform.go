@@ -91,6 +91,20 @@ type PEType struct {
 	// seconds, used by the transient thermal trace; zero means
 	// instantaneous (steady-state-only) behavior.
 	ThermalTimeConstS float64
+
+	// ConfigSEURatePerSec is the upset rate of the PE's configuration
+	// memory in 1/second (FPGA platform family). A configuration upset
+	// halts correct execution until the scrubber rewrites the frame, so
+	// the reliability model treats it as a repairable permanent hit rather
+	// than a datapath SEU. Zero (all non-FPGA types) disables the process
+	// entirely.
+	ConfigSEURatePerSec float64
+
+	// ScrubPeriodUS is the period of the configuration-memory scrubber in
+	// µs; a pending upset waits on average half a period for repair. Zero
+	// with a non-zero ConfigSEURatePerSec means unscrubbed configuration
+	// memory (upsets are unrepairable at the hardware layer).
+	ScrubPeriodUS float64
 }
 
 // Constants of the first-order physical models.
@@ -154,6 +168,15 @@ func (pt *PEType) Validate() error {
 	}
 	if pt.ThermalTimeConstS < 0 {
 		return fmt.Errorf("platform: PE type %q thermal time constant %v must be non-negative", pt.Name, pt.ThermalTimeConstS)
+	}
+	if math.IsNaN(pt.ConfigSEURatePerSec) || math.IsInf(pt.ConfigSEURatePerSec, 0) || pt.ConfigSEURatePerSec < 0 {
+		return fmt.Errorf("platform: PE type %q config SEU rate %v must be finite and non-negative", pt.Name, pt.ConfigSEURatePerSec)
+	}
+	if math.IsNaN(pt.ScrubPeriodUS) || math.IsInf(pt.ScrubPeriodUS, 0) || pt.ScrubPeriodUS < 0 {
+		return fmt.Errorf("platform: PE type %q scrub period %v must be finite and non-negative", pt.Name, pt.ScrubPeriodUS)
+	}
+	if pt.ScrubPeriodUS > 0 && pt.ConfigSEURatePerSec == 0 {
+		return fmt.Errorf("platform: PE type %q has a scrub period but no config SEU rate", pt.Name)
 	}
 	return nil
 }

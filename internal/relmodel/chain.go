@@ -49,6 +49,21 @@ type ChainParams struct {
 	// ModelCheckpointErrors enables the dotted-line extension of Fig. 3(b):
 	// errors during checkpoint creation itself.
 	ModelCheckpointErrors bool
+
+	// PermPerUS is the permanent-fault arrival rate in 1/µs (fault-model
+	// subsystem). When positive, every interval gains a PermHit repair
+	// state and both chains gain a PermFail absorbing state: a hit is
+	// repaired (probability RepairProb, residence RepairTimeUS in the
+	// timing chain) and the interval re-executes, or the task is
+	// permanently lost. Zero — the legacy SEU-only model — builds exactly
+	// the chains of Fig. 3, bit for bit.
+	PermPerUS float64
+	// RepairProb is the probability a permanent hit is repaired in the
+	// field (scrubbing, partial reconfiguration, spare swap-in). In [0,1].
+	RepairProb float64
+	// RepairTimeUS is the repair residence time paid per permanent hit
+	// (diagnosis + reconfiguration), whether or not the repair succeeds.
+	RepairTimeUS float64
 }
 
 // Validate checks the parameters' ranges.
@@ -92,7 +107,24 @@ func (p *ChainParams) Validate() error {
 			return fmt.Errorf("relmodel: probability %s = %v outside [0,1]", pr.name, pr.v)
 		}
 	}
+	if math.IsNaN(p.PermPerUS) || math.IsInf(p.PermPerUS, 0) || p.PermPerUS < 0 {
+		return fmt.Errorf("relmodel: permanent rate %v must be finite and non-negative", p.PermPerUS)
+	}
+	if p.RepairProb < 0 || p.RepairProb > 1 || math.IsNaN(p.RepairProb) {
+		return fmt.Errorf("relmodel: probability RepairProb = %v outside [0,1]", p.RepairProb)
+	}
+	if p.RepairTimeUS < 0 {
+		return fmt.Errorf("relmodel: negative repair time")
+	}
 	return nil
+}
+
+// pPerm returns the probability interval i suffers a permanent hit.
+func (p *ChainParams) pPerm(i int) float64 {
+	if p.PermPerUS == 0 {
+		return 0
+	}
+	return -math.Expm1(-p.PermPerUS * p.intervalExec(i))
 }
 
 // intervalExec returns the useful execution time of interval i.
@@ -142,6 +174,14 @@ func buildTimingChainInto(c *markov.Chain, execStates []int, p ChainParams) erro
 	n := p.Checkpoints + 1
 
 	end := c.AddAbsorbing("End")
+	// Permanent faults (fault-model subsystem) add one PermFail absorbing
+	// state and a per-interval PermHit repair state; both exist only when
+	// the rate is positive so the legacy chain stays bit-identical.
+	perm := p.PermPerUS > 0
+	var permFail int
+	if perm {
+		permFail = c.AddAbsorbing("PermFail")
+	}
 	// next[i] is the state entered after interval i completes cleanly.
 	execStates = growInts(execStates, n)
 	for i := 0; i < n; i++ {
@@ -170,8 +210,21 @@ func buildTimingChainInto(c *markov.Chain, execStates []int, p ChainParams) erro
 		sswTol := c.AddStateIdx("SSWTol", i, p.TolTimeUS)
 		asw := c.AddStateIdx("ASWRel", i, 0)
 
-		c.Transition(exec, next, pne)
-		c.Transition(exec, hw, 1-pne)
+		// A permanent hit preempts the transient outcome of the interval:
+		// repair re-executes it (paying the repair residence), a failed
+		// repair is fatal. pSurv = 1 keeps the legacy path exact (×1.0 is
+		// an IEEE identity).
+		pSurv := 1.0
+		if perm {
+			pp := p.pPerm(i)
+			pSurv = 1 - pp
+			permHit := c.AddStateIdx("PermHit", i, p.RepairTimeUS)
+			c.Transition(exec, permHit, pp)
+			c.Transition(permHit, exec, p.RepairProb)
+			c.Transition(permHit, permFail, 1-p.RepairProb)
+		}
+		c.Transition(exec, next, pne*pSurv)
+		c.Transition(exec, hw, (1-pne)*pSurv)
 
 		c.Transition(hw, next, p.MHW)
 		c.Transition(hw, sswImpl, 1-p.MHW)
@@ -221,6 +274,13 @@ func buildFunctionalChainInto(c *markov.Chain, execStates []int, p ChainParams) 
 
 	noErr := c.AddAbsorbing("noError")
 	errS := c.AddAbsorbing("Error")
+	// Permanent-fault states mirror the timing chain (zero residence: the
+	// functional chain resolves probabilities, not time).
+	perm := p.PermPerUS > 0
+	var permFail int
+	if perm {
+		permFail = c.AddAbsorbing("PermFail")
+	}
 	execStates = growInts(execStates, n)
 	for i := 0; i < n; i++ {
 		execStates[i] = c.AddStateIdx("ExecICI", i, 0)
@@ -250,8 +310,17 @@ func buildFunctionalChainInto(c *markov.Chain, execStates []int, p ChainParams) 
 		sswTol := c.AddStateIdx("SSWTol", i, 0)
 		asw := c.AddStateIdx("ASWRel", i, 0)
 
-		c.Transition(exec, next, pne)
-		c.Transition(exec, hw, 1-pne)
+		pSurv := 1.0
+		if perm {
+			pp := p.pPerm(i)
+			pSurv = 1 - pp
+			permHit := c.AddStateIdx("PermHit", i, 0)
+			c.Transition(exec, permHit, pp)
+			c.Transition(permHit, exec, p.RepairProb)
+			c.Transition(permHit, permFail, 1-p.RepairProb)
+		}
+		c.Transition(exec, next, pne*pSurv)
+		c.Transition(exec, hw, (1-pne)*pSurv)
 
 		c.Transition(hw, next, p.MHW)
 		c.Transition(hw, sswImpl, 1-p.MHW)
@@ -285,6 +354,10 @@ type TaskReliability struct {
 	MinExTimeUS float64
 	// ErrProb is the probability of an erroneous result (functional chain).
 	ErrProb float64
+	// PermFailProb is the probability the task is lost to an unrepaired
+	// permanent fault during one execution (absorption in PermFail).
+	// Always 0 when ChainParams.PermPerUS is 0.
+	PermFailProb float64
 }
 
 // chainScratch is the reusable working set of one AnalyzeChains call: one
@@ -369,6 +442,13 @@ func AnalyzeChains(p ChainParams) (TaskReliability, error) {
 	pErr, ok := fc.AbsorptionProbability(fr, "Error")
 	if !ok {
 		return out, fmt.Errorf("relmodel: functional chain lacks Error state")
+	}
+	if p.PermPerUS > 0 {
+		pPerm, ok := fc.AbsorptionProbability(fr, "PermFail")
+		if !ok {
+			return out, fmt.Errorf("relmodel: functional chain lacks PermFail state")
+		}
+		out.PermFailProb = pPerm
 	}
 	n := float64(p.Checkpoints + 1)
 	out.MinExTimeUS = p.ExecTimeUS + n*p.DetTimeUS + float64(p.Checkpoints)*p.ChkTimeUS

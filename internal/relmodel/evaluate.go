@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/faultmodel"
 	"repro/internal/platform"
 )
 
@@ -77,8 +78,15 @@ type Metrics struct {
 	MinExTimeUS float64
 	// AvgExTimeUS is the average execution time from the timing chain.
 	AvgExTimeUS float64
-	// ErrProb is the probability of an error surviving the CLR stack.
+	// ErrProb is the probability the task fails to deliver a correct
+	// result: an error surviving the CLR stack plus — when the combined
+	// fault model is active — an unrepaired permanent loss. With the
+	// subsystem off it is exactly the functional-chain error probability
+	// of the base paper.
 	ErrProb float64
+	// PermFailProb is the permanent-loss component of ErrProb (absorption
+	// in PermFail); 0 whenever the permanent process is off.
+	PermFailProb float64
 	// MTTFHours is η·Γ(1+1/β) on the hosting PE type at this thermal
 	// profile.
 	MTTFHours float64
@@ -94,8 +102,30 @@ type Metrics struct {
 // impl running on PE type pt under assignment asg (DVFS mode + one method
 // per layer from cat). The functional and timing figures come from the
 // Markov chains of Fig. 3; power, temperature, η and MTTF from the
-// first-order physical models in the platform package.
+// first-order physical models in the platform package. It is EvaluateFM
+// with the fault-model subsystem off — the legacy SEU-only path.
 func Evaluate(impl Impl, asg Assignment, pt *platform.PEType, cat *Catalog) (Metrics, error) {
+	return EvaluateFM(impl, asg, pt, cat, faultmodel.FaultModel{}, faultmodel.CheckpointPolicy{})
+}
+
+// EvaluateFM is Evaluate under a composable fault model and a task-level
+// checkpoint policy (the fault-model subsystem, DESIGN.md §14):
+//
+//   - fm scales the transient SEU rate, adds the intermittent process to it,
+//     and turns on the permanent process (PermHit/PermFail chain states).
+//   - A PE type with configuration memory (FPGA family) contributes its
+//     config-upset rate to the permanent process; the scrubber repairs those
+//     hits with mean latency of half the scrub period.
+//   - The hardware method's Repair (TMR-with-repair) and the fault model's
+//     RepairProb combine as independent repair mechanisms.
+//   - ckpt inserts additional checkpoints of the selected mode on top of the
+//     SSW method's own, boosting detection/recovery coverage and paying the
+//     mode's creation cost (and, for TMR-voted checkpoints, power).
+//
+// With both knobs zero on a configuration-memory-free PE type, the call is
+// bit-identical to Evaluate.
+func EvaluateFM(impl Impl, asg Assignment, pt *platform.PEType, cat *Catalog,
+	fm faultmodel.FaultModel, ckpt faultmodel.CheckpointPolicy) (Metrics, error) {
 	var out Metrics
 	if err := impl.Validate(); err != nil {
 		return out, err
@@ -103,26 +133,79 @@ func Evaluate(impl Impl, asg Assignment, pt *platform.PEType, cat *Catalog) (Met
 	if err := asg.CheckAgainst(cat, len(pt.Modes)); err != nil {
 		return out, err
 	}
+	if err := fm.Validate(); err != nil {
+		return out, fmt.Errorf("relmodel: evaluating %q: %w", impl.Name, err)
+	}
+	if err := ckpt.Validate(); err != nil {
+		return out, fmt.Errorf("relmodel: evaluating %q: %w", impl.Name, err)
+	}
 	hw := cat.HW[asg.HW]
 	ssw := cat.SSW[asg.SSW]
 	asw := cat.ASW[asg.ASW]
 
 	freq := pt.Modes[asg.Mode].FreqMHz
 	execUS := impl.Cycles / freq * hw.TimeFactor * asw.TimeFactor
-	n := float64(ssw.Checkpoints + 1)
+
+	fmOn := fm.Enabled()
+	ckptOn := ckpt.Enabled()
+	cfgOn := pt.ConfigSEURatePerSec > 0
+
+	lambda := pt.SEURate(asg.Mode) / 1e6
+	checkpoints := ssw.Checkpoints
+	chkTimeUS := ssw.CheckpointTimeFrac * execUS
+	detCov := ssw.DetectionCoverage
+	tolCov := ssw.ToleranceCoverage
+	permPerUS, repairProb, repairTimeUS := 0.0, 0.0, 0.0
+
+	if fmOn {
+		lambda = lambda*fm.LambdaScale() + fm.IntermittentPerUS()
+		permPerUS = fm.PermanentPerUS()
+		repairProb = fm.RepairProb
+		repairTimeUS = fm.RepairTimeUS
+	}
+	if cfgOn {
+		// Configuration-memory upsets halt correct execution until the
+		// scrubber rewrites the frame: a repairable permanent hit whose
+		// repair waits on average half the scrub period. Unscrubbed
+		// configuration memory is unrepairable at this layer.
+		permPerUS += pt.ConfigSEURatePerSec / 1e6
+		if pt.ScrubPeriodUS > 0 {
+			repairProb = faultmodel.Combine(repairProb, scrubRepairProb)
+			repairTimeUS += pt.ScrubPeriodUS / 2
+		}
+	}
+	if permPerUS > 0 && hw.Repair > 0 {
+		repairProb = faultmodel.Combine(repairProb, hw.Repair)
+	}
+	if ckptOn {
+		// Policy checkpoints stack on the SSW method's own; the chain's
+		// single per-checkpoint cost becomes the count-weighted mean of the
+		// two mechanisms' creation costs.
+		total := checkpoints + ckpt.Extra()
+		chkTimeUS = (ssw.CheckpointTimeFrac*float64(checkpoints) +
+			ckpt.TimeFrac()*float64(ckpt.Extra())) / float64(total) * execUS
+		checkpoints = total
+		detCov = faultmodel.Combine(detCov, ckpt.DetBoost())
+		tolCov = faultmodel.Combine(tolCov, ckpt.TolBoost())
+	}
+
+	n := float64(checkpoints + 1)
 	params := ChainParams{
 		ExecTimeUS:            execUS,
-		LambdaPerUS:           pt.SEURate(asg.Mode) / 1e6,
-		Checkpoints:           ssw.Checkpoints,
+		LambdaPerUS:           lambda,
+		Checkpoints:           checkpoints,
 		DetTimeUS:             ssw.DetectionTimeFrac * execUS / n,
 		TolTimeUS:             ssw.ToleranceTimeFrac * execUS / n,
-		ChkTimeUS:             ssw.CheckpointTimeFrac * execUS,
+		ChkTimeUS:             chkTimeUS,
 		MHW:                   hw.Masking,
 		MImplSSW:              impl.ImplicitMasking,
-		CovDet:                ssw.DetectionCoverage,
-		MTol:                  ssw.ToleranceCoverage,
+		CovDet:                detCov,
+		MTol:                  tolCov,
 		MASW:                  asw.Masking,
 		ModelCheckpointErrors: true,
+		PermPerUS:             permPerUS,
+		RepairProb:            repairProb,
+		RepairTimeUS:          repairTimeUS,
 	}
 	rel, err := AnalyzeChains(params)
 	if err != nil {
@@ -130,21 +213,52 @@ func Evaluate(impl Impl, asg Assignment, pt *platform.PEType, cat *Catalog) (Met
 	}
 
 	power := impl.PowerW * pt.PowerScale(asg.Mode) * hw.PowerFactor
+	if ckptOn {
+		power *= ckpt.PowerFactor()
+	}
 	temp := pt.SteadyTempC(power)
 	eta := pt.EtaHours(temp)
 
 	out = Metrics{
-		EtaHours:    eta,
-		MinExTimeUS: rel.MinExTimeUS,
-		AvgExTimeUS: rel.AvgExTimeUS,
-		ErrProb:     rel.ErrProb,
-		MTTFHours:   eta * math.Gamma(1+1/pt.WeibullBeta),
-		PowerW:      power,
-		EnergyUJ:    rel.AvgExTimeUS * power,
-		TempC:       temp,
+		EtaHours:     eta,
+		MinExTimeUS:  rel.MinExTimeUS,
+		AvgExTimeUS:  rel.AvgExTimeUS,
+		ErrProb:      rel.ErrProb,
+		PermFailProb: rel.PermFailProb,
+		MTTFHours:    eta * math.Gamma(1+1/pt.WeibullBeta),
+		PowerW:       power,
+		EnergyUJ:     rel.AvgExTimeUS * power,
+		TempC:        temp,
+	}
+	if rel.PermFailProb > 0 {
+		// Joint lifetime: the aging process (Weibull MTTF) and the fatal
+		// permanent-fault process compose as competing risks. The fatal
+		// rate per hour comes from the per-execution loss probability at
+		// continuous operation; both gates keep the formula a strict no-op
+		// when the permanent process is off (1/(1/x) ≠ x in floating
+		// point).
+		fatalPerHour := rel.PermFailProb * (3.6e9 / rel.AvgExTimeUS)
+		out.MTTFHours = 1 / (1/out.MTTFHours + fatalPerHour)
+		// A permanently lost task delivers no result: count it alongside
+		// the surviving-error probability.
+		out.ErrProb = rel.ErrProb + rel.PermFailProb
+	}
+	if fmOn || ckptOn || cfgOn {
+		faultmodel.CountEval()
+		if params.PermPerUS > 0 {
+			faultmodel.CountPermChain()
+		}
+		if ckptOn {
+			faultmodel.CountCheckpointPolicy()
+		}
 	}
 	return out, nil
 }
+
+// scrubRepairProb is the probability one scrub cycle restores a corrupted
+// configuration frame (blind scrubbing misses multi-frame and interconnect
+// corruption).
+const scrubRepairProb = 0.9
 
 // Reliability returns the functional reliability F_t = 1 − ErrProb.
 func (m Metrics) Reliability() float64 { return 1 - m.ErrProb }

@@ -1,0 +1,294 @@
+package relmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/faultmodel"
+	"repro/internal/platform"
+)
+
+// TestEvaluateFMDisabledIsEvaluate pins the strict no-op guarantee: with the
+// zero fault model, zero checkpoint policy and a configuration-memory-free
+// PE type, EvaluateFM must be bit-identical to the legacy Evaluate across
+// the assignment space.
+func TestEvaluateFMDisabledIsEvaluate(t *testing.T) {
+	impl := testImpl()
+	pt := testPEType()
+	cat := DefaultCatalog()
+	for mode := 0; mode < len(pt.Modes); mode++ {
+		for hw := range cat.HW {
+			for ssw := range cat.SSW {
+				for asw := range cat.ASW {
+					asg := Assignment{Mode: mode, HW: hw, SSW: ssw, ASW: asw}
+					legacy, err := Evaluate(impl, asg, pt, cat)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fm, err := EvaluateFM(impl, asg, pt, cat, faultmodel.FaultModel{}, faultmodel.CheckpointPolicy{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if legacy != fm {
+						t.Fatalf("asg %+v: EvaluateFM(zero) = %+v, Evaluate = %+v", asg, fm, legacy)
+					}
+					if fm.PermFailProb != 0 {
+						t.Fatalf("asg %+v: disabled path has PermFailProb %v", asg, fm.PermFailProb)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPermanentProcessJointMetrics(t *testing.T) {
+	impl := testImpl()
+	pt := testPEType()
+	cat := DefaultCatalog()
+	asg := Assignment{Mode: 0, HW: 1, SSW: 1, ASW: 1}
+
+	base, err := Evaluate(impl, asg, pt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := faultmodel.FaultModel{PermanentPerHour: 50, RepairProb: 0.5, RepairTimeUS: 200}
+	got, err := EvaluateFM(impl, asg, pt, cat, fm, faultmodel.CheckpointPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PermFailProb <= 0 || got.PermFailProb >= 1 {
+		t.Fatalf("PermFailProb = %v, want in (0,1)", got.PermFailProb)
+	}
+	if got.ErrProb <= base.ErrProb {
+		t.Fatalf("joint ErrProb %v must exceed the SEU-only %v", got.ErrProb, base.ErrProb)
+	}
+	if diff := got.ErrProb - got.PermFailProb; math.Abs(diff-baseErrComponent(t, impl, asg, pt, cat, fm)) > 1e-12 {
+		t.Fatalf("ErrProb %v is not Error+PermFail decomposed (perm %v)", got.ErrProb, got.PermFailProb)
+	}
+	if got.MTTFHours >= base.MTTFHours {
+		t.Fatalf("joint MTTF %v must undercut the aging-only %v", got.MTTFHours, base.MTTFHours)
+	}
+	// Repair residence time shows up in the timing chain.
+	if got.AvgExTimeUS <= base.AvgExTimeUS {
+		t.Fatalf("AvgExTimeUS %v must exceed the fault-free %v (repair residence)", got.AvgExTimeUS, base.AvgExTimeUS)
+	}
+	// Full repair coverage eliminates the fatal absorption entirely.
+	fullRepair := fm
+	fullRepair.RepairProb = 1
+	gotFull, err := EvaluateFM(impl, asg, pt, cat, fullRepair, faultmodel.CheckpointPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFull.PermFailProb != 0 {
+		t.Fatalf("RepairProb=1 leaves PermFailProb %v, want 0", gotFull.PermFailProb)
+	}
+	if gotFull.MTTFHours != base.MTTFHours {
+		t.Fatalf("fully-repaired MTTF %v must stay the aging MTTF %v", gotFull.MTTFHours, base.MTTFHours)
+	}
+}
+
+// baseErrComponent computes the Error-absorption component alone by
+// re-running the functional analysis (ErrProb − PermFailProb must equal it).
+func baseErrComponent(t *testing.T, impl Impl, asg Assignment, pt *platform.PEType, cat *Catalog, fm faultmodel.FaultModel) float64 {
+	t.Helper()
+	got, err := EvaluateFM(impl, asg, pt, cat, fm, faultmodel.CheckpointPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got.ErrProb - got.PermFailProb
+}
+
+func TestTransientScaleAndIntermittent(t *testing.T) {
+	impl := testImpl()
+	pt := testPEType()
+	cat := DefaultCatalog()
+	asg := Assignment{Mode: 0, HW: 0, SSW: 0, ASW: 0}
+	base, err := Evaluate(impl, asg, pt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := EvaluateFM(impl, asg, pt, cat, faultmodel.FaultModel{TransientScale: 10}, faultmodel.CheckpointPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.ErrProb <= base.ErrProb {
+		t.Fatalf("10× transient scale: ErrProb %v must exceed %v", scaled.ErrProb, base.ErrProb)
+	}
+	interm, err := EvaluateFM(impl, asg, pt, cat,
+		faultmodel.FaultModel{IntermittentPerSec: 500, IntermittentBurst: 4}, faultmodel.CheckpointPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interm.ErrProb <= base.ErrProb {
+		t.Fatalf("intermittent process: ErrProb %v must exceed %v", interm.ErrProb, base.ErrProb)
+	}
+	if scaled.PermFailProb != 0 || interm.PermFailProb != 0 {
+		t.Fatal("transient-only models must not open the permanent process")
+	}
+}
+
+func TestCheckpointPolicyAxis(t *testing.T) {
+	impl := testImpl()
+	pt := testPEType()
+	cat := DefaultCatalog()
+	// A hostile transient environment where recovery actually matters.
+	fm := faultmodel.FaultModel{TransientScale: 40}
+	asg := Assignment{Mode: 0, HW: 0, SSW: 0, ASW: 0}
+
+	none, err := EvaluateFM(impl, asg, pt, cat, fm, faultmodel.CheckpointPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := EvaluateFM(impl, asg, pt, cat, fm,
+		faultmodel.CheckpointPolicy{Mode: faultmodel.CkptLocal, Interval: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmr, err := EvaluateFM(impl, asg, pt, cat, fm,
+		faultmodel.CheckpointPolicy{Mode: faultmodel.CkptTMR, Interval: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(local.ErrProb < none.ErrProb) || !(tmr.ErrProb < local.ErrProb) {
+		t.Fatalf("ErrProb must fall none→local→tmr, got %v / %v / %v",
+			none.ErrProb, local.ErrProb, tmr.ErrProb)
+	}
+	if !(local.MinExTimeUS > none.MinExTimeUS) || !(tmr.MinExTimeUS > local.MinExTimeUS) {
+		t.Fatalf("checkpoint creation cost must rise none→local→tmr, got %v / %v / %v",
+			none.MinExTimeUS, local.MinExTimeUS, tmr.MinExTimeUS)
+	}
+	if tmr.PowerW <= local.PowerW {
+		t.Fatalf("TMR-voted checkpoints must cost power: %v vs %v", tmr.PowerW, local.PowerW)
+	}
+	// Policy checkpoints stack on SSW-method checkpoints.
+	asgChk := Assignment{Mode: 0, HW: 0, SSW: 2, ASW: 0} // chkpt-2
+	stacked, err := EvaluateFM(impl, asgChk, pt, cat, fm,
+		faultmodel.CheckpointPolicy{Mode: faultmodel.CkptLocal, Interval: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sswOnly, err := EvaluateFM(impl, asgChk, pt, cat, fm, faultmodel.CheckpointPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stacked.MinExTimeUS <= sswOnly.MinExTimeUS {
+		t.Fatalf("stacked checkpoints must cost more creation time: %v vs %v",
+			stacked.MinExTimeUS, sswOnly.MinExTimeUS)
+	}
+}
+
+func TestConfigMemoryScrubbing(t *testing.T) {
+	impl := testImpl()
+	cat := FPGACatalog()
+	fpga := platform.FPGA()
+	fabric := fpga.Types()[2]
+	if fabric.ConfigSEURatePerSec == 0 {
+		t.Fatal("FPGA fabric type must carry a config SEU rate")
+	}
+	asg := Assignment{Mode: 0, HW: 0, SSW: 0, ASW: 0}
+	// The configuration-memory process activates from the platform alone —
+	// no fault model required.
+	got, err := EvaluateFM(impl, asg, fabric, cat, faultmodel.FaultModel{}, faultmodel.CheckpointPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PermFailProb <= 0 {
+		t.Fatal("config-memory upsets must produce a permanent-loss probability")
+	}
+	// TMR-repair combines with the scrubber and shrinks the loss.
+	tmrIdx := -1
+	for i, m := range cat.HW {
+		if m.Name == "TMR-repair" {
+			tmrIdx = i
+		}
+	}
+	if tmrIdx < 0 {
+		t.Fatal("FPGA catalog lacks TMR-repair")
+	}
+	repaired, err := EvaluateFM(impl, Assignment{Mode: 0, HW: tmrIdx, SSW: 0, ASW: 0},
+		fabric, cat, faultmodel.FaultModel{}, faultmodel.CheckpointPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired.PermFailProb >= got.PermFailProb {
+		t.Fatalf("TMR-repair must shrink PermFailProb: %v vs %v", repaired.PermFailProb, got.PermFailProb)
+	}
+}
+
+func TestChainParamsPermValidation(t *testing.T) {
+	base := ChainParams{ExecTimeUS: 100, LambdaPerUS: 1e-5, MTol: 0.9, CovDet: 0.9}
+	for _, mut := range []func(*ChainParams){
+		func(p *ChainParams) { p.PermPerUS = -1 },
+		func(p *ChainParams) { p.PermPerUS = math.NaN() },
+		func(p *ChainParams) { p.PermPerUS = math.Inf(1) },
+		func(p *ChainParams) { p.RepairProb = 1.5 },
+		func(p *ChainParams) { p.RepairProb = -0.5 },
+		func(p *ChainParams) { p.RepairTimeUS = -1 },
+	} {
+		p := base
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", p)
+		}
+	}
+	p := base
+	p.PermPerUS = 1e-6
+	p.RepairProb = 0.7
+	p.RepairTimeUS = 50
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate rejected a sane permanent process: %v", err)
+	}
+	rel, err := AnalyzeChains(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.PermFailProb <= 0 {
+		t.Fatalf("PermFailProb = %v, want positive", rel.PermFailProb)
+	}
+}
+
+func TestFaultModelCounters(t *testing.T) {
+	impl := testImpl()
+	pt := testPEType()
+	cat := DefaultCatalog()
+	asg := Assignment{Mode: 0, HW: 0, SSW: 0, ASW: 0}
+
+	before := faultmodel.Totals()
+	if _, err := Evaluate(impl, asg, pt, cat); err != nil {
+		t.Fatal(err)
+	}
+	if got := faultmodel.Totals(); got != before {
+		t.Fatalf("legacy Evaluate moved the fault-model counters: %+v → %+v", before, got)
+	}
+	fm := faultmodel.FaultModel{PermanentPerHour: 1, RepairProb: 0.5}
+	ck := faultmodel.CheckpointPolicy{Mode: faultmodel.CkptLocal, Interval: 1}
+	if _, err := EvaluateFM(impl, asg, pt, cat, fm, ck); err != nil {
+		t.Fatal(err)
+	}
+	after := faultmodel.Totals()
+	if after.Evals != before.Evals+1 || after.PermChains != before.PermChains+1 ||
+		after.CheckpointPolicies != before.CheckpointPolicies+1 {
+		t.Fatalf("counters %+v → %+v, want each +1", before, after)
+	}
+}
+
+func TestFPGACatalogValid(t *testing.T) {
+	c := FPGACatalog()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("FPGA catalog invalid: %v", err)
+	}
+	repair := false
+	for _, m := range c.HW {
+		if m.Repair > 0 {
+			repair = true
+		}
+	}
+	if !repair {
+		t.Fatal("FPGA catalog must offer a repairing HW method")
+	}
+	bad := FPGACatalog()
+	bad.HW[len(bad.HW)-1].Repair = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted Repair > 1")
+	}
+}

@@ -1,0 +1,23 @@
+package relmodel
+
+// FPGACatalog returns the hardware-layer method set of the FPGA platform
+// family: the default catalog extended with the SEU-mitigation techniques of
+// the FPGA dependability literature (Hoque et al.), where spatial redundancy
+// does double duty — masking transient upsets like any TMR and *repairing*
+// permanent-class hits (corrupted configuration frames) through partial
+// reconfiguration of the failed replica. The Repair field feeds the
+// permanent/repair states of the absorbing chains (see EvaluateFM); it
+// combines multiplicatively with the scrubber's own repair probability.
+func FPGACatalog() *Catalog {
+	c := DefaultCatalog()
+	c.HW = append(c.HW,
+		// Blind-scrubbing guard logic: light masking, modest repair — the
+		// scrubber fixes frames it happens to rewrite in time.
+		HWMethod{Name: "scrub-guard", Masking: 0.30, TimeFactor: 1.02, PowerFactor: 1.10, Repair: 0.80},
+		// TMR with readback-triggered partial reconfiguration of the failed
+		// replica: near-full transient masking plus high permanent repair,
+		// at triple area/power and voting latency.
+		HWMethod{Name: "TMR-repair", Masking: 0.96, TimeFactor: 1.20, PowerFactor: 3.05, Repair: 0.95},
+	)
+	return c
+}

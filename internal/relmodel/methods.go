@@ -30,6 +30,12 @@ type HWMethod struct {
 	TimeFactor float64
 	// PowerFactor ≥ 1 inflates power (e.g. replicated logic).
 	PowerFactor float64
+	// Repair is the probability the spatial redundancy repairs a permanent
+	// hit in the field (TMR-with-repair, scrubbed configuration frames):
+	// it combines multiplicatively with the fault model's own repair
+	// probability. In [0,1]; 0 (every legacy method) means the method
+	// offers no permanent-fault repair.
+	Repair float64
 }
 
 // SSWMethod is a temporal-redundancy (system software layer) method. It
@@ -144,6 +150,9 @@ func (c *Catalog) Validate() error {
 		}
 		if m.TimeFactor < 1 || m.PowerFactor < 1 {
 			return fmt.Errorf("relmodel: HW method %q factors must be ≥ 1", m.Name)
+		}
+		if m.Repair < 0 || m.Repair > 1 {
+			return fmt.Errorf("relmodel: HW method %q repair %v outside [0,1]", m.Name, m.Repair)
 		}
 	}
 	for _, m := range c.SSW {

@@ -109,6 +109,7 @@ type MetricsWire struct {
 	Accel       EvalAccelWire            `json:"eval_accel"`
 	Selection   SelectionWire            `json:"selection"`
 	Convergence ConvergenceWire          `json:"convergence"`
+	FaultModel  FaultModelWire           `json:"fault_model"`
 	Latency     map[string]HistogramWire `json:"latency_ms"`
 	// Store gauges are present when the service runs with a durable store.
 	Store *StoreWire `json:"store,omitempty"`
@@ -134,6 +135,17 @@ type ConvergenceWire struct {
 	// plateau-tracked run (0 until a converge-enabled run finishes a
 	// generation).
 	LastHypervolume float64 `json:"last_hypervolume"`
+}
+
+// FaultModelWire reports the process-wide fault-model subsystem counters
+// (see faultmodel.Totals): task evaluations with the subsystem active,
+// chain pairs built with permanent/repair states, and evaluations under an
+// active checkpoint policy. All zero on a daemon that has only served
+// legacy SEU-only jobs.
+type FaultModelWire struct {
+	Evals              uint64 `json:"evals"`
+	PermChains         uint64 `json:"perm_chains"`
+	CheckpointPolicies uint64 `json:"checkpoint_policies"`
 }
 
 // StoreWire reports the durable store's gauges: WAL size and I/O counters,

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultmodel"
 	"repro/internal/store"
 )
 
@@ -660,6 +661,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	st := core.SelectionTotals()
 	m.Selection = SelectionWire{SortNanos: st.SortNanos, ArchiveNanos: st.ArchiveNanos}
+	fm := faultmodel.Totals()
+	m.FaultModel = FaultModelWire{
+		Evals:              fm.Evals,
+		PermChains:         fm.PermChains,
+		CheckpointPolicies: fm.CheckpointPolicies,
+	}
 	m.Convergence = ConvergenceWire{
 		GenerationsRun:    st.GenerationsRun,
 		GenerationsBudget: st.GenerationsBudget,

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/characterize"
 	"repro/internal/core"
+	"repro/internal/faultmodel"
 	"repro/internal/moea"
 	"repro/internal/platform"
 	"repro/internal/relmodel"
@@ -107,6 +108,24 @@ type JobSpec struct {
 	Converge       bool    `json:"converge,omitempty"`
 	ConvergeWindow int     `json:"converge_window,omitempty"`
 	ConvergeEps    float64 `json:"converge_eps,omitempty"`
+	// Platform selects the platform family: the paper's HMPSoC ("",
+	// "default", "hmpsoc" — all canonicalized to "" so legacy specs hash
+	// identically) or "fpga" (soft cores in configuration memory with
+	// scrubbing, see internal/platform.FPGA).
+	Platform string `json:"platform,omitempty"`
+	// Faults, when present and non-empty, activates the combined
+	// fault-model subsystem: the default model plus per-PE-type overrides
+	// feed every task-metric evaluation (transient scaling, intermittent
+	// bursts, permanent faults with probabilistic repair). An empty model
+	// normalizes back to nil, so degraded forms hash like legacy specs.
+	Faults *faultmodel.Model `json:"faults,omitempty"`
+	// CkptModes enumerates the heterogeneous checkpointing axis during
+	// tDSE (proposed/pfclr methods only — zeroed otherwise, like
+	// tdse_set): every candidate is additionally evaluated under local and
+	// TMR-voted checkpoint policies. CkptIntervals lists the checkpoint
+	// counts to enumerate per mode (default [2], each in [1,16]).
+	CkptModes     bool  `json:"ckpt_modes,omitempty"`
+	CkptIntervals []int `json:"ckpt_intervals,omitempty"`
 }
 
 var systemObjectiveNames = map[string]core.SystemObjective{
@@ -198,7 +217,7 @@ func (s *JobSpec) Normalize() error {
 		s.Catalog = "default"
 	}
 	switch s.Catalog {
-	case "default", "extended":
+	case "default", "extended", "fpga":
 	default:
 		return fmt.Errorf("service: unknown catalog %q", s.Catalog)
 	}
@@ -317,6 +336,41 @@ func (s *JobSpec) Normalize() error {
 	} else if s.ConvergeWindow != 0 || s.ConvergeEps != 0 {
 		return fmt.Errorf("service: converge_window/converge_eps require converge")
 	}
+	s.Platform = strings.ToLower(strings.TrimSpace(s.Platform))
+	switch s.Platform {
+	case "", "default", "hmpsoc":
+		s.Platform = "" // one canonical (and legacy-identical) degraded form
+	case "fpga":
+	default:
+		return fmt.Errorf("service: unknown platform family %q", s.Platform)
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(); err != nil {
+			return fmt.Errorf("service: faults: %w", err)
+		}
+		if !s.Faults.Enabled() {
+			s.Faults = nil // empty model: hash like a legacy spec
+		}
+	}
+	if !s.needsLibrary() {
+		// The checkpoint axis is a tDSE enumeration decision; methods that
+		// never build the filtered library cannot consume it (same
+		// degraded-form treatment as TDSESet).
+		s.CkptModes = false
+		s.CkptIntervals = nil
+	}
+	if s.CkptModes {
+		if len(s.CkptIntervals) == 0 {
+			s.CkptIntervals = []int{2}
+		}
+		for _, n := range s.CkptIntervals {
+			if n < 1 || n > 16 {
+				return fmt.Errorf("service: ckpt_intervals entry %d outside [1,16]", n)
+			}
+		}
+	} else if s.CkptIntervals != nil {
+		return fmt.Errorf("service: ckpt_intervals requires ckpt_modes")
+	}
 	return nil
 }
 
@@ -355,10 +409,16 @@ func (s *JobSpec) TotalGenerations() int {
 // Build materializes a normalized spec into a DSE instance and, for
 // methods that need it, the task-level Pareto-filtered library.
 func Build(s *JobSpec) (*core.Instance, *tdse.Library, error) {
-	p := platform.Default()
+	p, err := platform.Named(s.Platform)
+	if err != nil {
+		return nil, nil, err
+	}
 	cat := relmodel.DefaultCatalog()
-	if s.Catalog == "extended" {
+	switch s.Catalog {
+	case "extended":
 		cat = relmodel.ExtendedCatalog()
+	case "fpga":
+		cat = relmodel.FPGACatalog()
 	}
 	objs := make([]core.SystemObjective, len(s.Objectives))
 	for i, name := range s.Objectives {
@@ -370,6 +430,7 @@ func Build(s *JobSpec) (*core.Instance, *tdse.Library, error) {
 		Objectives:    objs,
 		Comm:          schedule.CommModel{StartupUS: s.CommStartupUS, PerKBUS: s.CommPerKBUS},
 		EnforceMemory: s.EnforceMemory,
+		Faults:        s.Faults,
 		Spec: schedule.Spec{
 			MaxMakespanUS:    s.Constraints.MaxMakespanUS,
 			MinFunctionalRel: s.Constraints.MinFunctionalRel,
@@ -409,8 +470,12 @@ func Build(s *JobSpec) (*core.Instance, *tdse.Library, error) {
 	}
 	var flib *tdse.Library
 	if s.needsLibrary() {
-		var err error
-		flib, err = tdse.Build(inst.Lib, p, inst.Catalog, tdse.DefaultOptions(),
+		opt := tdse.DefaultOptions()
+		opt.Faults = s.Faults
+		if s.CkptModes {
+			opt.Checkpoints = tdse.CheckpointAxis(s.CkptIntervals)
+		}
+		flib, err = tdse.Build(inst.Lib, p, inst.Catalog, opt,
 			tdse.StudyObjectiveSets()[s.TDSESet])
 		if err != nil {
 			return nil, nil, err

@@ -1,0 +1,122 @@
+package tdse
+
+import (
+	"testing"
+
+	"repro/internal/characterize"
+	"repro/internal/faultmodel"
+	"repro/internal/platform"
+	"repro/internal/relmodel"
+)
+
+func testSetup(t *testing.T) (*characterize.Library, *platform.Platform, *relmodel.Catalog) {
+	t.Helper()
+	p := platform.Default()
+	lib := characterize.Synthetic(p, characterize.DefaultSyntheticConfig(3), 42)
+	return lib, p, relmodel.DefaultCatalog()
+}
+
+func TestCheckpointAxisHelper(t *testing.T) {
+	axis := CheckpointAxis([]int{1, 2})
+	if len(axis) != 5 {
+		t.Fatalf("axis has %d policies, want 5 (zero + 2×{local,tmr})", len(axis))
+	}
+	if axis[0].Enabled() {
+		t.Fatal("axis must lead with the zero policy")
+	}
+	for _, p := range axis[1:] {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("axis policy %+v invalid: %v", p, err)
+		}
+	}
+}
+
+func TestEnumerateCheckpointAxis(t *testing.T) {
+	lib, p, cat := testSetup(t)
+	legacy, err := Enumerate(lib, 0, p, cat, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Checkpoints = CheckpointAxis([]int{2})
+	got, err := Enumerate(lib, 0, p, cat, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3*len(legacy) {
+		t.Fatalf("axis of 3 policies yields %d candidates from %d legacy, want 3×", len(got), len(legacy))
+	}
+	// The zero-policy points interleave first per configuration and must be
+	// bit-identical to the legacy enumeration.
+	for i, want := range legacy {
+		c := got[3*i]
+		if c.Checkpoint.Enabled() {
+			t.Fatalf("candidate %d: expected the zero-policy point first, got %+v", i, c.Checkpoint)
+		}
+		if c.Metrics != want.Metrics || c.Assignment != want.Assignment {
+			t.Fatalf("candidate %d: zero-policy point diverged from legacy", i)
+		}
+	}
+	// Active policies must actually change the evaluation.
+	changed := false
+	for _, c := range got {
+		if c.Checkpoint.Enabled() && c.Metrics.MinExTimeUS > got[0].Metrics.MinExTimeUS {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("no policy-bearing candidate shows checkpoint overhead")
+	}
+}
+
+func TestEnumerateWithFaultModel(t *testing.T) {
+	lib, p, cat := testSetup(t)
+	legacy, err := Enumerate(lib, 0, p, cat, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Faults = &faultmodel.Model{
+		Default: faultmodel.FaultModel{PermanentPerHour: 100, RepairProb: 0.5, RepairTimeUS: 100},
+	}
+	got, err := Enumerate(lib, 0, p, cat, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(legacy) {
+		t.Fatalf("fault model alone must not change candidate count: %d vs %d", len(got), len(legacy))
+	}
+	perm := 0
+	for _, c := range got {
+		if c.Metrics.PermFailProb > 0 {
+			perm++
+		}
+	}
+	if perm != len(got) {
+		t.Fatalf("%d of %d candidates carry PermFailProb under an active permanent process", perm, len(got))
+	}
+	// The Pareto filter and library build must pass policies through.
+	flib, err := Build(lib, p, cat, opt, []Objective{AvgExT, ErrProb, MTTF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flib.Counts()) != lib.NumTypes() {
+		t.Fatal("library lost task types")
+	}
+}
+
+func TestFilterKeepsCheckpointDiversity(t *testing.T) {
+	lib, p, cat := testSetup(t)
+	opt := DefaultOptions()
+	opt.Checkpoints = CheckpointAxis([]int{2})
+	opt.Faults = &faultmodel.Model{Default: faultmodel.FaultModel{TransientScale: 30}}
+	cands, err := Enumerate(lib, 0, p, cat, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := Filter(cands, []Objective{AvgExT, ErrProb})
+	if len(front) == 0 || len(front) >= len(cands) {
+		t.Fatalf("filter kept %d of %d", len(front), len(cands))
+	}
+}

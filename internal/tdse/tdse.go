@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/characterize"
+	"repro/internal/faultmodel"
 	"repro/internal/pareto"
 	"repro/internal/platform"
 	"repro/internal/relmodel"
@@ -124,10 +125,14 @@ func Vector(m relmodel.Metrics, objectives []Objective) []float64 {
 }
 
 // Candidate is one fully configured task implementation: a base
-// implementation plus a CLR configuration, with its evaluated metrics.
+// implementation plus a CLR configuration (and, when the checkpoint axis is
+// enumerated, a task-level checkpoint policy), with its evaluated metrics.
 type Candidate struct {
 	Base       relmodel.Impl
 	Assignment relmodel.Assignment
+	// Checkpoint is the task-level checkpoint policy of the candidate; the
+	// zero value (legacy enumerations) means the axis is off.
+	Checkpoint faultmodel.CheckpointPolicy
 	Metrics    relmodel.Metrics
 }
 
@@ -144,12 +149,37 @@ type Options struct {
 	// implementation's implicit SSW masking (Fig. 6(b) sweep). Negative
 	// means "keep the implementation's own value".
 	ImplicitMaskingOverride float64
+	// Checkpoints enumerates the task-level checkpoint-policy axis: every
+	// candidate is additionally evaluated under each listed policy. Nil —
+	// the legacy enumeration — evaluates only the zero (no-policy) point,
+	// keeping candidate order and metrics bit-identical to the
+	// pre-subsystem engine. Include the zero policy explicitly to keep the
+	// unaugmented points alongside the policies.
+	Checkpoints []faultmodel.CheckpointPolicy
+	// Faults, when non-nil, evaluates every candidate under the resolved
+	// per-PE-type fault model (combined transient+permanent analysis).
+	Faults *faultmodel.Model
 }
 
 // DefaultOptions enumerates everything and keeps implementations' own
 // implicit masking.
 func DefaultOptions() Options {
 	return Options{ImplicitMaskingOverride: -1}
+}
+
+// CheckpointAxis builds the checkpoint-policy enumeration axis from a list
+// of checkpoint counts: the zero (no-policy) point followed by a local and a
+// TMR-voted policy per count. It is the canonical axis behind the service's
+// ckpt_modes/ckpt_intervals knobs.
+func CheckpointAxis(intervals []int) []faultmodel.CheckpointPolicy {
+	out := []faultmodel.CheckpointPolicy{{}}
+	for _, n := range intervals {
+		out = append(out,
+			faultmodel.CheckpointPolicy{Mode: faultmodel.CkptLocal, Interval: n},
+			faultmodel.CheckpointPolicy{Mode: faultmodel.CkptTMR, Interval: n},
+		)
+	}
+	return out
 }
 
 // Enumerate generates and evaluates every CLR-integrated candidate of one
@@ -168,6 +198,15 @@ func Enumerate(lib *characterize.Library, taskType int, p *platform.Platform, ca
 		hws := indicesOrAll(opt.HW, len(cat.HW))
 		ssws := indicesOrAll(opt.SSW, len(cat.SSW))
 		asws := indicesOrAll(opt.ASW, len(cat.ASW))
+		// The checkpoint-policy axis multiplies the enumeration; a nil
+		// axis is the single zero policy, which — together with a nil
+		// fault model — routes through the legacy Evaluate so candidate
+		// order and metrics stay bit-identical to the pre-subsystem
+		// engine.
+		policies := opt.Checkpoints
+		if policies == nil {
+			policies = zeroPolicyAxis[:]
+		}
 		for _, mode := range modes {
 			if mode >= len(pt.Modes) {
 				continue
@@ -176,11 +215,19 @@ func Enumerate(lib *characterize.Library, taskType int, p *platform.Platform, ca
 				for _, ssw := range ssws {
 					for _, asw := range asws {
 						asg := relmodel.Assignment{Mode: mode, HW: hw, SSW: ssw, ASW: asw}
-						m, err := relmodel.Evaluate(base, asg, pt, cat)
-						if err != nil {
-							return nil, fmt.Errorf("tdse: task type %d: %w", taskType, err)
+						for _, ck := range policies {
+							var m relmodel.Metrics
+							var err error
+							if opt.Faults == nil && !ck.Enabled() {
+								m, err = relmodel.Evaluate(base, asg, pt, cat)
+							} else {
+								m, err = relmodel.EvaluateFM(base, asg, pt, cat, opt.Faults.For(pt.Name), ck)
+							}
+							if err != nil {
+								return nil, fmt.Errorf("tdse: task type %d: %w", taskType, err)
+							}
+							out = append(out, Candidate{Base: base, Assignment: asg, Checkpoint: ck, Metrics: m})
 						}
-						out = append(out, Candidate{Base: base, Assignment: asg, Metrics: m})
 					}
 				}
 			}
@@ -191,6 +238,9 @@ func Enumerate(lib *characterize.Library, taskType int, p *platform.Platform, ca
 	}
 	return out, nil
 }
+
+// zeroPolicyAxis is the degenerate checkpoint axis of legacy enumerations.
+var zeroPolicyAxis = [1]faultmodel.CheckpointPolicy{}
 
 func indicesOrAll(sel []int, n int) []int {
 	if sel != nil {
